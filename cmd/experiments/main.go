@@ -1,0 +1,78 @@
+// Command experiments regenerates the paper's figures and tables.
+//
+// Usage:
+//
+//	experiments -list
+//	experiments -run fig5
+//	experiments -run fig10 -machines 6130-2,5218 -runs 5 -scale 0.1
+//	experiments -run all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		runID    = flag.String("run", "", "experiment id (see -list), or \"all\"")
+		list     = flag.Bool("list", false, "list experiment ids and exit")
+		scale    = flag.Float64("scale", experiments.DefaultScale, "workload scale (1 = paper length)")
+		runs     = flag.Int("runs", 3, "repetitions per configuration")
+		seed     = flag.Uint64("seed", 1, "base RNG seed")
+		machines = flag.String("machines", "", "comma-separated machine presets (default: experiment's own)")
+		format   = flag.String("format", "text", "output format: text, csv or json")
+	)
+	flag.Parse()
+
+	if *list || *runID == "" {
+		titles := experiments.Titles()
+		for _, id := range experiments.List() {
+			fmt.Printf("  %-20s %s\n", id, titles[id])
+		}
+		return
+	}
+
+	opt := experiments.Options{Scale: *scale, Runs: *runs, Seed: *seed}
+	if *machines != "" {
+		opt.Machines = strings.Split(*machines, ",")
+	}
+
+	ids := []string{*runID}
+	if *runID == "all" {
+		ids = experiments.List()
+	}
+	for _, id := range ids {
+		e, err := experiments.ByID(id)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		start := time.Now()
+		rep, err := e.Run(opt)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		switch *format {
+		case "csv":
+			if err := rep.RenderCSV(os.Stdout); err != nil {
+				fmt.Fprintln(os.Stderr, "experiments:", err)
+				os.Exit(1)
+			}
+		case "json":
+			if err := rep.RenderJSON(os.Stdout); err != nil {
+				fmt.Fprintln(os.Stderr, "experiments:", err)
+				os.Exit(1)
+			}
+		default:
+			rep.Render(os.Stdout)
+			fmt.Printf("(%s finished in %.1fs wall)\n\n", id, time.Since(start).Seconds())
+		}
+	}
+}

@@ -1,0 +1,32 @@
+// Command machines prints the encoded machine models: Table 2 (hardware
+// characteristics) and, with -turbo, Table 3 (turbo ladders).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	turbo := flag.Bool("turbo", false, "print the turbo frequency ladders (Table 3)")
+	flag.Parse()
+
+	id := "table2"
+	if *turbo {
+		id = "table3"
+	}
+	e, err := experiments.ByID(id)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "machines:", err)
+		os.Exit(1)
+	}
+	rep, err := e.Run(experiments.Options{})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "machines:", err)
+		os.Exit(1)
+	}
+	rep.Render(os.Stdout)
+}

@@ -1,0 +1,135 @@
+// Command nestfig renders paper-style figures as SVG files.
+//
+//	nestfig -kind trace -workload configure/llvm_ninja -machine 5218 -sched cfs -out cfs.svg
+//	nestfig -kind underload -workload configure/llvm_ninja -out underload.svg
+//	nestfig -kind timeseries -workload dacapo/h2 -machine 6130-4 -sched nest -out h2.svg
+//	nestfig -kind speedup -suite configure -machine 5218 -out fig5.svg
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+	"repro/internal/machine"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/svgplot"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		kind        = flag.String("kind", "trace", "figure kind: trace, underload, timeseries, speedup")
+		wl          = flag.String("workload", "configure/llvm_ninja", "workload (trace/underload/timeseries)")
+		suite       = flag.String("suite", "configure", "suite for -kind speedup: configure, dacapo, nas")
+		machineName = flag.String("machine", "5218", "machine preset")
+		sched       = flag.String("sched", "cfs", "scheduler (trace/underload/timeseries)")
+		gov         = flag.String("gov", "schedutil", "governor")
+		scale       = flag.Float64("scale", 0.1, "workload scale")
+		windowMS    = flag.Int("window", 300, "trace window in milliseconds")
+		seed        = flag.Uint64("seed", 1, "seed")
+		out         = flag.String("out", "figure.svg", "output SVG path")
+	)
+	flag.Parse()
+
+	f, err := os.Create(*out)
+	if err != nil {
+		fail(err)
+	}
+	defer f.Close()
+
+	spec, err := machine.Preset(*machineName)
+	if err != nil {
+		fail(err)
+	}
+	edges := metrics.EdgesFor(spec)
+
+	switch *kind {
+	case "trace", "underload":
+		tr := metrics.NewTrace(0, sim.Time(*windowMS)*sim.Millisecond)
+		_, err := experiments.Run(experiments.RunSpec{
+			Machine: *machineName, Scheduler: *sched, Governor: *gov,
+			Workload: *wl, Scale: *scale, Seed: *seed, Trace: tr,
+		})
+		if err != nil {
+			fail(err)
+		}
+		title := fmt.Sprintf("%s, %s-%s on %s", *wl, *sched, *gov, spec.Topo.Name())
+		if *kind == "trace" {
+			svgplot.Heatmap(f, title, tr, edges)
+		} else {
+			svgplot.UnderloadSeries(f, "underload: "+title, tr.UnderloadSeries)
+		}
+
+	case "timeseries":
+		ser := metrics.NewTimeSeries(1)
+		_, err := experiments.Run(experiments.RunSpec{
+			Machine: *machineName, Scheduler: *sched, Governor: *gov,
+			Workload: *wl, Scale: *scale, Seed: *seed, Series: ser,
+		})
+		if err != nil {
+			fail(err)
+		}
+		title := fmt.Sprintf("%s, %s-%s on %s", *wl, *sched, *gov, spec.Topo.Name())
+		svgplot.TimeSeries(f, title, ser, float64(spec.MaxTurbo()))
+
+	case "speedup":
+		var wls []string
+		for _, w := range workload.Suite(*suite) {
+			wls = append(wls, w.Name)
+		}
+		if len(wls) == 0 {
+			fail(fmt.Errorf("unknown suite %q", *suite))
+		}
+		seriesNames := []string{"CFS-perf", "Nest-sched", "Nest-perf"}
+		configs := [][2]string{{"cfs", "performance"}, {"nest", "schedutil"}, {"nest", "performance"}}
+		var groups []svgplot.BarGroup
+		for _, w := range wls {
+			base, err := mean(*machineName, "cfs", "schedutil", w, *scale, *seed)
+			if err != nil {
+				fail(err)
+			}
+			g := svgplot.BarGroup{Label: shortName(w)}
+			for _, c := range configs {
+				v, err := mean(*machineName, c[0], c[1], w, *scale, *seed)
+				if err != nil {
+					fail(err)
+				}
+				g.Values = append(g.Values, 100*metrics.Speedup(base, v))
+			}
+			groups = append(groups, g)
+		}
+		svgplot.Bars(f, fmt.Sprintf("%s suite on %s: speedup vs CFS-schedutil (%%)", *suite, spec.Topo.Name()),
+			seriesNames, groups)
+
+	default:
+		fail(fmt.Errorf("unknown -kind %q", *kind))
+	}
+	fmt.Println("wrote", *out)
+}
+
+func mean(mach, sched, gov, wl string, scale float64, seed uint64) (float64, error) {
+	rs, err := experiments.RunRepeats(experiments.RunSpec{
+		Machine: mach, Scheduler: sched, Governor: gov,
+		Workload: wl, Scale: scale, Seed: seed,
+	}, 2)
+	if err != nil {
+		return 0, err
+	}
+	return metrics.Mean(metrics.Runtimes(rs)), nil
+}
+
+func shortName(wl string) string {
+	if i := strings.IndexByte(wl, '/'); i >= 0 {
+		return wl[i+1:]
+	}
+	return wl
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "nestfig:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,216 @@
+// Command nestsim runs one workload on one simulated machine under one
+// scheduler/governor pair and prints the measurements.
+//
+// Usage:
+//
+//	nestsim -machine 5218 -sched nest -gov schedutil -workload configure/llvm_ninja -scale 0.04 -runs 3
+//
+// Compare schedulers directly:
+//
+//	nestsim -machine 5218 -workload configure/llvm_ninja -compare
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"repro/internal/experiments"
+	"repro/internal/machine"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/textplot"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		machineName = flag.String("machine", "5218", "machine preset (6130-2, 6130-4, 5218, e7-8870, 5220, 4650g)")
+		schedName   = flag.String("sched", "cfs", "scheduler: cfs, nest, smove, or nest:<flags>")
+		govName     = flag.String("gov", "schedutil", "governor: schedutil or performance")
+		wlName      = flag.String("workload", "configure/llvm_ninja", "workload name (see -list)")
+		scale       = flag.Float64("scale", experiments.DefaultScale, "workload scale (1 = paper length)")
+		runs        = flag.Int("runs", 3, "number of runs to average")
+		seed        = flag.Uint64("seed", 1, "base RNG seed")
+		list        = flag.Bool("list", false, "list available workloads and exit")
+		compare     = flag.Bool("compare", false, "run the four paper configurations and print speedups")
+		traceMS     = flag.Int("trace", 0, "render an ASCII core trace of the first N milliseconds")
+		customPath  = flag.String("custom", "", "register a custom workload from a JSON spec file (see internal/workload.CustomSpec)")
+		chromeOut   = flag.String("chrometrace", "", "write a Chrome/Perfetto trace of one run to this file")
+	)
+	flag.Parse()
+
+	if *customPath != "" {
+		f, err := os.Open(*customPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "nestsim:", err)
+			os.Exit(1)
+		}
+		w, err := workload.RegisterCustom(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "nestsim:", err)
+			os.Exit(1)
+		}
+		if *wlName == "configure/llvm_ninja" { // default: run the custom workload
+			*wlName = w.Name
+		}
+	}
+
+	if *list {
+		for _, n := range workload.Names() {
+			fmt.Println(n)
+		}
+		return
+	}
+
+	if *compare {
+		if err := runCompare(*machineName, *wlName, *scale, *runs, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, "nestsim:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	rs := experiments.RunSpec{
+		Machine: *machineName, Scheduler: *schedName, Governor: *govName,
+		Workload: *wlName, Scale: *scale, Seed: *seed,
+	}
+	if *chromeOut != "" {
+		if err := runChromeTrace(rs, *chromeOut); err != nil {
+			fmt.Fprintln(os.Stderr, "nestsim:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *traceMS > 0 {
+		if err := runTraced(rs, *traceMS); err != nil {
+			fmt.Fprintln(os.Stderr, "nestsim:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	results, err := experiments.RunRepeats(rs, *runs)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nestsim:", err)
+		os.Exit(1)
+	}
+	printResults(rs, results)
+}
+
+// runChromeTrace executes one run recording a Perfetto-compatible
+// timeline.
+func runChromeTrace(rs experiments.RunSpec, path string) error {
+	tl := metrics.NewTimeline(2_000_000)
+	rs.Timeline = tl
+	res, err := experiments.Run(rs)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := tl.WriteChromeTrace(f); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d slices (%d dropped) for a %v run to %s\n",
+		len(tl.Slices), tl.Dropped(), res.Runtime, path)
+	fmt.Println("open in ui.perfetto.dev or chrome://tracing")
+	return nil
+}
+
+// runTraced executes one run with a trace window and renders it.
+func runTraced(rs experiments.RunSpec, ms int) error {
+	spec, err := machine.Preset(rs.Machine)
+	if err != nil {
+		return err
+	}
+	tr := metrics.NewTrace(0, sim.Time(ms)*sim.Millisecond)
+	rs.Trace = tr
+	res, err := experiments.Run(rs)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s on %s, %s-%s: first %dms\n", rs.Workload, res.MachineName, rs.Scheduler, rs.Governor, ms)
+	textplot.CoreTrace(os.Stdout, tr, metrics.EdgesFor(spec))
+	textplot.UnderloadSeries(os.Stdout, "underload per 4ms interval", tr.UnderloadSeries, 75)
+	fmt.Printf("full run: %v, %.1fJ\n", res.Runtime, res.EnergyJ)
+	return nil
+}
+
+func printResults(rs experiments.RunSpec, results []*metrics.Result) {
+	times := metrics.Runtimes(results)
+	energies := metrics.Energies(results)
+	r0 := results[0]
+	fmt.Printf("%s on %s, %s-%s (scale %.3g, %d runs)\n",
+		rs.Workload, r0.MachineName, rs.Scheduler, rs.Governor, rs.Scale, len(results))
+	fmt.Printf("  runtime      %.4fs ± %.1f%%\n", metrics.Mean(times), pctStd(times))
+	fmt.Printf("  energy       %.1fJ ± %.1f%%\n", metrics.Mean(energies), pctStd(energies))
+	fmt.Printf("  underload    %.2f (avg/interval), %.1f/s\n", r0.UnderloadAvg, r0.UnderloadPerSec)
+	fmt.Printf("  wake p99     %v\n", r0.WakeLatency.Percentile(99))
+	c := r0.Counters
+	fmt.Printf("  forks %d  wakeups %d  ctxsw %d (cold %d)  migrations %d  balances %d  collisions %d  spinticks %d\n",
+		c.Forks, c.Wakeups, c.CtxSwitches, c.ColdSwitches, c.Migrations, c.LoadBalances, c.Collisions, c.SpinTicksTotal)
+	fmt.Printf("  freq distribution (busy-core time):\n")
+	for i := range r0.FreqHist.Weight {
+		fmt.Printf("    %-16s %5.1f%%\n", r0.FreqHist.BucketLabel(i), 100*r0.FreqHist.Share(i))
+	}
+}
+
+func pctStd(xs []float64) float64 {
+	m := metrics.Mean(xs)
+	if m == 0 {
+		return 0
+	}
+	return 100 * metrics.Stddev(xs) / m
+}
+
+func runCompare(machineName, wlName string, scale float64, runs int, seed uint64) error {
+	configs := []struct{ sched, gov string }{
+		{"cfs", "schedutil"},
+		{"cfs", "performance"},
+		{"nest", "schedutil"},
+		{"nest", "performance"},
+		{"smove", "schedutil"},
+	}
+	type row struct {
+		name   string
+		time   float64
+		std    float64
+		energy float64
+		under  float64
+	}
+	var rows []row
+	for _, c := range configs {
+		rs := experiments.RunSpec{
+			Machine: machineName, Scheduler: c.sched, Governor: c.gov,
+			Workload: wlName, Scale: scale, Seed: seed,
+		}
+		results, err := experiments.RunRepeats(rs, runs)
+		if err != nil {
+			return err
+		}
+		times := metrics.Runtimes(results)
+		rows = append(rows, row{
+			name:   c.sched + "-" + c.gov,
+			time:   metrics.Mean(times),
+			std:    pctStd(times),
+			energy: metrics.Mean(metrics.Energies(results)),
+			under:  results[0].UnderloadAvg,
+		})
+	}
+	base := rows[0].time
+	baseE := rows[0].energy
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(w, "%s on %s (scale %.3g, %d runs)\n", wlName, machineName, scale, runs)
+	fmt.Fprintln(w, "config\truntime\tstddev\tspeedup\tenergy\tsavings\tunderload")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s\t%.4fs\t±%.1f%%\t%+.1f%%\t%.1fJ\t%+.1f%%\t%.2f\n",
+			r.name, r.time, r.std, 100*metrics.Speedup(base, r.time),
+			r.energy, 100*metrics.Speedup(baseE, r.energy), r.under)
+	}
+	return w.Flush()
+}

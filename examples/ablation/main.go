@@ -1,0 +1,57 @@
+// Nest feature ablation: toggle each mechanism off and scale the Table 1
+// parameters, reproducing the studies of §5.2/§5.3 on one workload.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+	"repro/internal/metrics"
+)
+
+func main() {
+	wl := flag.String("workload", "dacapo/h2", "workload to ablate on")
+	mach := flag.String("machine", "6130-2", "machine preset")
+	runs := flag.Int("runs", 3, "repetitions")
+	flag.Parse()
+
+	variants := []string{
+		"nest", // full
+		"nest:nospin",
+		"nest:nocompact",
+		"nest:noreserve",
+		"nest:noattach",
+		"nest:nowc",
+		"nest:noimpatience",
+		"nest:noclaim",
+		"nest:smax=1",
+		"nest:smax=20",
+		"nest:premove=1",
+		"nest:premove=20",
+		"nest:rmax=2",
+		"nest:rmax=50",
+	}
+
+	fmt.Printf("Nest ablation on %s (%s, schedutil, %d runs)\n", *wl, *mach, *runs)
+	var fullT float64
+	for _, v := range variants {
+		rs, err := experiments.RunRepeats(experiments.RunSpec{
+			Machine: *mach, Scheduler: v, Governor: "schedutil",
+			Workload: *wl, Scale: 0.04, Seed: 1,
+		}, *runs)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		t := metrics.Mean(metrics.Runtimes(rs))
+		if v == "nest" {
+			fullT = t
+			fmt.Printf("  %-20s %8.3fs (baseline)\n", v, t)
+			continue
+		}
+		fmt.Printf("  %-20s %8.3fs  %+6.1f%% vs full Nest\n", v, t, 100*metrics.Speedup(fullT, t))
+	}
+	fmt.Println("\nnegative numbers mean the removed/changed feature was helping")
+}

@@ -1,0 +1,66 @@
+// Quickstart: build a simulated server, run a fork-heavy shell workload
+// under CFS and under Nest, and print the comparison the paper's
+// introduction promises — same work, fewer warmer cores, less time.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/cfs"
+	nest "repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/governor"
+	"repro/internal/machine"
+	"repro/internal/metrics"
+	"repro/internal/proc"
+	"repro/internal/sched"
+	"repro/internal/sim"
+)
+
+// shellScript builds a configure-style behaviour: fork a short command,
+// wait for it, repeat.
+func shellScript(spec *machine.Spec, commands int) proc.Behavior {
+	work := proc.Cycles(1200*sim.Microsecond, spec.Nominal)
+	step := 0
+	return func(t *proc.Task, r *sim.Rand) proc.Action {
+		if step >= commands*2 {
+			return proc.Exit{}
+		}
+		step++
+		if step%2 == 1 {
+			return proc.Fork{
+				Name:     "cmd",
+				Behavior: proc.Script(proc.Compute{Cycles: work}),
+			}
+		}
+		return proc.WaitChildren{}
+	}
+}
+
+func run(policy sched.Policy) *metrics.Result {
+	spec := machine.IntelXeon5218()
+	m := cpu.New(cpu.Config{
+		Spec:   spec,
+		Gov:    governor.Schedutil{},
+		Policy: policy,
+		Seed:   42,
+	})
+	m.Spawn("sh", shellScript(spec, 400))
+	return m.Run(0)
+}
+
+func main() {
+	cfsRes := run(cfs.Default())
+	nestRes := run(nest.Default())
+
+	fmt.Println("400 short commands on a 64-core Xeon Gold 5218, schedutil governor")
+	fmt.Printf("%-14s %10s %10s %12s\n", "scheduler", "runtime", "energy", "underload")
+	print1 := func(name string, r *metrics.Result) {
+		fmt.Printf("%-14s %9.3fs %9.1fJ %12.2f\n", name, r.Runtime.Seconds(), r.EnergyJ, r.UnderloadAvg)
+	}
+	print1("cfs", cfsRes)
+	print1("nest", nestRes)
+	fmt.Printf("\nNest speedup: %+.1f%%   energy savings: %+.1f%%\n",
+		100*metrics.Speedup(cfsRes.Runtime.Seconds(), nestRes.Runtime.Seconds()),
+		100*metrics.Speedup(cfsRes.EnergyJ, nestRes.EnergyJ))
+}

@@ -1,0 +1,254 @@
+// Package cfs models the core-selection behaviour of Linux v5.9's
+// Completely Fair Scheduler, exactly as §2.1 of the paper characterises
+// it:
+//
+// Fork descends the scheduling-domain hierarchy, at each level picking
+// the least-loaded group, then the least-loaded core, scanning in
+// numerical order (modulo the group size) from the core performing the
+// fork. Load includes the decaying average of recent activity, so a
+// recently idled core is passed over in favour of a long-idle — cold and
+// slow — one: the dispersal that motivates Nest.
+//
+// Wakeup picks a target (the task's previous core or the waker's),
+// searches the target's die for a fully idle physical core, then does a
+// bounded scan for any idle core, then falls back to the target's
+// hyperthread or the target itself. It is not work conserving: other dies
+// are never examined (unless the Nest extension enables it).
+package cfs
+
+import (
+	"repro/internal/machine"
+	"repro/internal/proc"
+	"repro/internal/sched"
+	"repro/internal/sim"
+)
+
+// Config tunes the CFS model.
+type Config struct {
+	// NUMAImbalance is the number of runnable tasks' worth of load a
+	// socket may exceed the idlest socket by before fork spills to it,
+	// modelling the kernel's allowed NUMA imbalance.
+	NUMAImbalance float64
+	// ScanLimit bounds the wakeup search for an idle core on the die
+	// after the fully-idle-physical-core scan fails.
+	ScanLimit int
+	// FixedCost is the base placement cost charged per selection.
+	FixedCost sim.Duration
+	// WorkConservingWakeup extends the wakeup search to all dies when the
+	// target die has no idle core — Nest's §3.4 extension; off in CFS.
+	WorkConservingWakeup bool
+	// SyncAffine lets a synchronous wakeup whose waker is alone on its
+	// core pull the wakee to the waker, as wake_affine does.
+	SyncAffine bool
+	// RespectClaims makes idle checks honour the §3.4 placement flag.
+	// Plain CFS does not look at it — simultaneous placements can stack —
+	// but when this code runs as Nest's fallback the whole path checks
+	// the flag.
+	RespectClaims bool
+}
+
+// DefaultConfig returns the values matching Linux v5.9 behaviour.
+func DefaultConfig() Config {
+	return Config{
+		NUMAImbalance: 2.0,
+		ScanLimit:     6,
+		FixedCost:     300 * sim.Nanosecond,
+		SyncAffine:    true,
+	}
+}
+
+// Policy is the CFS placement policy.
+type Policy struct {
+	sched.Base
+	cfg Config
+}
+
+// New returns a CFS policy with cfg (zero fields take defaults).
+func New(cfg Config) *Policy {
+	def := DefaultConfig()
+	if cfg.NUMAImbalance == 0 {
+		cfg.NUMAImbalance = def.NUMAImbalance
+	}
+	if cfg.ScanLimit == 0 {
+		cfg.ScanLimit = def.ScanLimit
+	}
+	if cfg.FixedCost == 0 {
+		cfg.FixedCost = def.FixedCost
+	}
+	return &Policy{cfg: cfg}
+}
+
+// Default returns a CFS policy with kernel-default behaviour.
+func Default() *Policy { return New(DefaultConfig()) }
+
+// Name implements sched.Policy.
+func (p *Policy) Name() string { return "cfs" }
+
+// idle reports whether c can take a placement, honouring the placement
+// flag when configured.
+func (p *Policy) idle(m sched.Machine, c machine.CoreID) bool {
+	if !m.IsIdle(c) {
+		return false
+	}
+	if p.cfg.RespectClaims && m.Claimed(c) {
+		return false
+	}
+	return true
+}
+
+// SelectCoreFork implements the fork path (§2.1): idlest socket with the
+// NUMA-imbalance allowance, then the idlest physical core scanning in
+// wrap order from the forking core, then the idlest hardware thread.
+func (p *Policy) SelectCoreFork(m sched.Machine, parent, child *proc.Task, parentCore machine.CoreID) machine.CoreID {
+	topo := m.Topo()
+	examined := 0
+	defer func() { m.ChargeSearch(examined, p.cfg.FixedCost) }()
+
+	// NUMA level: compare stale per-socket runnable counts. The home
+	// socket keeps the fork while its excess over the idlest socket is
+	// within the allowed NUMA imbalance (a couple of tasks, scaled up on
+	// wide sockets): sleeping tasks do not pin their socket, so an
+	// application whose threads mostly block stays on one socket —
+	// except in bursts of simultaneous activity, when forks spill
+	// (the paper's occasional multi-socket h2 runs, Figure 9).
+	home := topo.Socket(parentCore)
+	running := m.SocketRunning()
+	allowance := p.cfg.NUMAImbalance
+	if q := float64(topo.PhysPerSocket()) / 8; q > allowance {
+		allowance = q
+	}
+	// Once the home socket is half full of runnable tasks the allowance
+	// disappears: a saturating fork storm (NAS) is balanced exactly,
+	// while lightly loaded applications keep their home-socket bias.
+	if running[home] >= topo.PhysPerSocket()/2 {
+		allowance = 0
+	}
+	bestSock := home
+	for s := 0; s < topo.NumSockets(); s++ {
+		if s == bestSock {
+			continue
+		}
+		margin := 0.0
+		if bestSock == home {
+			margin = allowance
+		}
+		if float64(running[s]) < float64(running[bestSock])-margin {
+			bestSock = s
+		}
+	}
+
+	// MC level: least-loaded physical core, wrap scan from the forking
+	// core so equal-load (cold) candidates are taken in numerical order.
+	scan := topo.ScanFrom(bestSock, parentCore)
+	var bestA, bestB machine.CoreID = -1, -1
+	bestLoad := 0.0
+	seen := make(map[int]bool, len(scan))
+	for _, c := range scan {
+		phys := topo.Core(c).Physical
+		if seen[phys] {
+			continue
+		}
+		seen[phys] = true
+		sib := topo.Sibling(c)
+		load := m.LoadAvg(c)
+		if sib != c {
+			load += m.LoadAvg(sib)
+		}
+		examined += 2
+		if bestA < 0 || load < bestLoad {
+			bestA, bestB = c, sib
+			bestLoad = load
+		}
+	}
+
+	// SMT level: the emptier hardware thread.
+	if bestB != bestA && m.LoadAvg(bestB) < m.LoadAvg(bestA) {
+		return bestB
+	}
+	return bestA
+}
+
+// SelectCoreWakeup implements the wakeup path (§2.1).
+func (p *Policy) SelectCoreWakeup(m sched.Machine, t *proc.Task, wakerCore machine.CoreID, sync bool) machine.CoreID {
+	topo := m.Topo()
+	examined := 0
+	defer func() { m.ChargeSearch(examined, p.cfg.FixedCost) }()
+
+	prev := t.Last
+	if prev == proc.NoCore {
+		prev = wakerCore
+	}
+
+	// Choose the target between the previous core and the waker's core.
+	target := prev
+	examined++
+	if !p.idle(m, prev) {
+		if sync && p.cfg.SyncAffine && m.QueueLen(wakerCore) <= 1 {
+			// Synchronous handoff: the waker is about to block.
+			target = wakerCore
+		} else {
+			loads := m.SocketLoads()
+			ps, ws := topo.Socket(prev), topo.Socket(wakerCore)
+			if ps != ws && loads[ps] > loads[ws]+1 {
+				// wake_affine: pull toward the waker's less-loaded die.
+				target = wakerCore
+			}
+		}
+	}
+
+	if p.idle(m, target) {
+		return target
+	}
+	die := topo.Socket(target)
+	if topo.Socket(prev) == die && p.idle(m, prev) {
+		return prev
+	}
+
+	// select_idle_core: a physical core with both hardware threads idle.
+	scan := topo.ScanFrom(die, target)
+	for _, c := range scan {
+		examined++
+		if c == target {
+			continue
+		}
+		if p.idle(m, c) && p.idle(m, topo.Sibling(c)) {
+			return c
+		}
+	}
+
+	// Bounded scan for any idle core on the die.
+	limit := p.cfg.ScanLimit
+	for _, c := range scan {
+		if limit == 0 {
+			break
+		}
+		limit--
+		examined++
+		if c != target && p.idle(m, c) {
+			return c
+		}
+	}
+
+	// Nest's work-conservation extension (§3.4): examine all of the
+	// dies — completing the target die beyond the bounded scan, then
+	// every other die.
+	if p.cfg.WorkConservingWakeup {
+		for _, s := range topo.SocketOrder(target) {
+			for _, c := range topo.ScanFrom(s, target) {
+				examined++
+				if c != target && p.idle(m, c) {
+					return c
+				}
+			}
+		}
+	}
+
+	// The target's hyperthread, then the target itself.
+	if sib := topo.Sibling(target); sib != target {
+		examined++
+		if p.idle(m, sib) {
+			return sib
+		}
+	}
+	return target
+}

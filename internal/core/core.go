@@ -1,0 +1,408 @@
+// Package core implements Nest, the paper's contribution (§3): a task
+// placement policy that keeps tasks close together on warm cores.
+//
+// Nest maintains two sets of cores. The primary nest holds cores in use
+// or recently used; the reserve nest holds cores demoted from the primary
+// or on probation after being chosen by CFS. Placement searches the
+// primary nest, then the reserve nest, then falls back to CFS (Figure 1).
+// Idle cores in the nest spin briefly to stay warm (§3.2); tasks attach
+// to cores they used twice in a row (§3.3); placements are serialised per
+// core with a claim flag, and wakeups become work conserving across dies
+// (§3.4).
+package core
+
+import (
+	"repro/internal/cfs"
+	"repro/internal/machine"
+	"repro/internal/proc"
+	"repro/internal/sched"
+	"repro/internal/sim"
+)
+
+// Config carries the Table 1 parameters and the feature toggles the
+// paper's ablation studies (§5.2, §5.3, §5.4) exercise.
+type Config struct {
+	// PRemove is the idle delay before a primary core becomes eligible
+	// for nest compaction (Table 1: 2 ticks = 8 ms).
+	PRemove sim.Duration
+	// RMax is the maximum size of the reserve nest (Table 1: 5).
+	RMax int
+	// RImpatient is the number of successive previous-core placement
+	// failures tolerated before a task turns impatient (Table 1: 2).
+	RImpatient int
+	// SMax is the maximum idle spin duration (Table 1: 2 ticks = 8 ms).
+	SMax sim.Duration
+	// FixedCost is the base placement cost of Nest's selection code,
+	// larger than CFS's (§5.6: "Nest adds a lot of code to core
+	// selection").
+	FixedCost sim.Duration
+
+	// Ablation toggles.
+	DisableReserve          bool // CFS-chosen cores join the primary nest directly
+	DisableCompaction       bool // primary cores are never demoted for idleness
+	DisableSpin             bool // the idle process never spins
+	DisableAttach           bool // ignore the size-2 core history
+	DisableWorkConservation bool // keep CFS's die-local wakeup search
+	DisableImpatience       bool // never expand the nest for bouncing tasks
+	DisableClaimCheck       bool // ignore the placement flag during searches
+
+	// CFS configures the fallback policy.
+	CFS cfs.Config
+}
+
+// DefaultConfig returns the Table 1 parameter values.
+func DefaultConfig() Config {
+	return Config{
+		PRemove:    2 * sim.Tick,
+		RMax:       5,
+		RImpatient: 2,
+		SMax:       2 * sim.Tick,
+		FixedCost:  800 * sim.Nanosecond,
+		CFS:        cfs.DefaultConfig(),
+	}
+}
+
+// Policy is the Nest scheduler.
+type Policy struct {
+	cfg  Config
+	cfs  *cfs.Policy
+	init bool
+
+	inPrimary []bool
+	lastUsed  []sim.Time
+	nPrimary  int
+
+	inReserve []bool
+	nReserve  int
+
+	// evicted marks cores pushed out of the nests entirely (compaction
+	// or exit demotion past a full reserve). An evicted core loses the
+	// previous-core fast path until it re-enters a nest: its owner must
+	// search, which is what shrinks a sleepy application onto the
+	// remaining warm cores. Cores that never joined a nest (the NAS
+	// steady state) are unaffected.
+	evicted []bool
+
+	// startCore anchors reserve-nest scans: the core on which the system
+	// call that started Nest ran (§3.1), here the first placement's
+	// reference core.
+	startCore machine.CoreID
+	haveStart bool
+}
+
+// taskData is Nest's per-task state.
+type taskData struct {
+	impatience int
+}
+
+func dataOf(t *proc.Task) *taskData {
+	if d, ok := t.SchedData.(*taskData); ok {
+		return d
+	}
+	d := &taskData{}
+	t.SchedData = d
+	return d
+}
+
+// New returns a Nest policy. Zero-valued Table 1 parameters take their
+// defaults; toggles are honoured as given.
+func New(cfg Config) *Policy {
+	def := DefaultConfig()
+	if cfg.PRemove == 0 {
+		cfg.PRemove = def.PRemove
+	}
+	if cfg.RMax == 0 {
+		cfg.RMax = def.RMax
+	}
+	if cfg.RImpatient == 0 {
+		cfg.RImpatient = def.RImpatient
+	}
+	if cfg.SMax == 0 {
+		cfg.SMax = def.SMax
+	}
+	if cfg.FixedCost == 0 {
+		cfg.FixedCost = def.FixedCost
+	}
+	cfg.CFS.WorkConservingWakeup = !cfg.DisableWorkConservation
+	cfg.CFS.RespectClaims = !cfg.DisableClaimCheck
+	return &Policy{cfg: cfg, cfs: cfs.New(cfg.CFS)}
+}
+
+// Default returns Nest with the paper's Table 1 parameters.
+func Default() *Policy { return New(DefaultConfig()) }
+
+// Name implements sched.Policy.
+func (p *Policy) Name() string { return "nest" }
+
+// Config returns the active configuration (for reporting).
+func (p *Policy) Config() Config { return p.cfg }
+
+// PrimarySize returns the current primary nest size (for tests and
+// introspection).
+func (p *Policy) PrimarySize() int { return p.nPrimary }
+
+// ReserveSize returns the current reserve nest size.
+func (p *Policy) ReserveSize() int { return p.nReserve }
+
+// InPrimary reports whether c is in the primary nest.
+func (p *Policy) InPrimary(c machine.CoreID) bool {
+	return p.init && p.inPrimary[c]
+}
+
+// InReserve reports whether c is in the reserve nest.
+func (p *Policy) InReserve(c machine.CoreID) bool {
+	return p.init && p.inReserve[c]
+}
+
+func (p *Policy) ensure(m sched.Machine, ref machine.CoreID) {
+	if !p.init {
+		n := m.Topo().NumCores()
+		p.inPrimary = make([]bool, n)
+		p.lastUsed = make([]sim.Time, n)
+		p.inReserve = make([]bool, n)
+		p.evicted = make([]bool, n)
+		p.init = true
+	}
+	if !p.haveStart {
+		p.startCore = ref
+		p.haveStart = true
+	}
+}
+
+func (p *Policy) addPrimary(c machine.CoreID, now sim.Time) {
+	p.evicted[c] = false
+	if p.inPrimary[c] {
+		p.lastUsed[c] = now
+		return
+	}
+	if p.inReserve[c] {
+		p.inReserve[c] = false
+		p.nReserve--
+	}
+	p.inPrimary[c] = true
+	p.lastUsed[c] = now
+	p.nPrimary++
+}
+
+// demote moves a primary core to the reserve nest, or drops it entirely
+// when the reserve is full (§3.1).
+func (p *Policy) demote(c machine.CoreID) {
+	if !p.inPrimary[c] {
+		return
+	}
+	p.inPrimary[c] = false
+	p.nPrimary--
+	if !p.cfg.DisableReserve && p.nReserve < p.cfg.RMax && !p.inReserve[c] {
+		p.inReserve[c] = true
+		p.nReserve++
+		return
+	}
+	p.evicted[c] = true
+}
+
+func (p *Policy) addReserve(c machine.CoreID) {
+	if p.inReserve[c] || p.inPrimary[c] || p.nReserve >= p.cfg.RMax {
+		return
+	}
+	p.evicted[c] = false
+	p.inReserve[c] = true
+	p.nReserve++
+}
+
+// usable reports whether an idle core can receive a placement, honouring
+// the §3.4 claim flag.
+func (p *Policy) usable(m sched.Machine, c machine.CoreID) bool {
+	if !m.IsIdle(c) {
+		return false
+	}
+	if !p.cfg.DisableClaimCheck && m.Claimed(c) {
+		return false
+	}
+	return true
+}
+
+// searchPrimary scans the primary nest, same die as ref first, wrapping
+// in numerical order from ref (§3.1). Idle cores past their compaction
+// deadline are demoted instead of used.
+func (p *Policy) searchPrimary(m sched.Machine, ref machine.CoreID, examined *int) (machine.CoreID, bool) {
+	topo := m.Topo()
+	now := m.Now()
+	for _, s := range topo.SocketOrder(ref) {
+		for _, c := range topo.ScanFrom(s, ref) {
+			if !p.inPrimary[c] {
+				continue
+			}
+			*examined++
+			if !p.usable(m, c) {
+				continue
+			}
+			if !p.cfg.DisableCompaction && now-p.lastUsed[c] > p.cfg.PRemove {
+				// Compaction: a task tried to use a stale core (§3.1).
+				p.demote(c)
+				continue
+			}
+			p.lastUsed[c] = now
+			return c, true
+		}
+	}
+	return 0, false
+}
+
+// searchReserve scans the reserve nest, same die as ref first, wrapping
+// in numerical order from the fixed start core (§3.1).
+func (p *Policy) searchReserve(m sched.Machine, ref machine.CoreID, examined *int) (machine.CoreID, bool) {
+	topo := m.Topo()
+	for _, s := range topo.SocketOrder(ref) {
+		for _, c := range topo.ScanFrom(s, p.startCore) {
+			if !p.inReserve[c] {
+				continue
+			}
+			*examined++
+			if p.usable(m, c) {
+				return c, true
+			}
+		}
+	}
+	return 0, false
+}
+
+// selectCore is the Figure 1 search path shared by fork and wakeup. ref
+// is the task's previous core (the parent's core for a fork); fallback
+// performs the CFS selection if both nests fail.
+func (p *Policy) selectCore(m sched.Machine, t *proc.Task, ref machine.CoreID, fallback func() machine.CoreID) machine.CoreID {
+	p.ensure(m, ref)
+	now := m.Now()
+	examined := 0
+	defer func() { m.ChargeSearch(examined, p.cfg.FixedCost) }()
+
+	// First choice: the attached core (§3.3), reclaimable even when
+	// compaction-eligible as long as it is still in the primary nest.
+	if !p.cfg.DisableAttach && t.Attached() {
+		c := t.Last
+		examined++
+		if p.inPrimary[c] && p.usable(m, c) {
+			p.lastUsed[c] = now
+			return c
+		}
+	}
+
+	// Next, the previously used core when it belongs to a nest (§5.4:
+	// Nest favours "the attached core or the previously used core"; both
+	// nest scans start at the task's previous core, so an idle prev is
+	// always found first). A prev found in the reserve nest is promoted
+	// exactly as any reserve selection is. A prev outside the nests does
+	// not shortcut the search: the task is guided back toward the warm
+	// nest cores — the concentration that shrinks a sleepy application's
+	// footprint.
+	if !p.cfg.DisableAttach && t.Last != proc.NoCore {
+		c := t.Last
+		examined++
+		if (p.inPrimary[c] || p.inReserve[c]) && p.usable(m, c) {
+			if p.inPrimary[c] {
+				p.lastUsed[c] = now
+			} else {
+				p.addPrimary(c, now)
+			}
+			return c
+		}
+	}
+
+	td := dataOf(t)
+	impatient := !p.cfg.DisableImpatience && td.impatience >= p.cfg.RImpatient
+
+	if !impatient {
+		if c, ok := p.searchPrimary(m, ref, &examined); ok {
+			return c
+		}
+	}
+
+	if c, ok := p.searchReserve(m, ref, &examined); ok {
+		// Promotion (§3.1); an impatient task's pick grows the primary
+		// nest and resets its counter.
+		p.addPrimary(c, now)
+		if impatient {
+			td.impatience = 0
+		}
+		return c
+	}
+
+	c := fallback()
+	if impatient {
+		p.addPrimary(c, now)
+		td.impatience = 0
+	} else if p.cfg.DisableReserve {
+		// Ablation: without a probation nest, CFS picks join the primary
+		// directly, letting it balloon — the degradation §5.2 reports.
+		p.addPrimary(c, now)
+	} else if !p.inPrimary[c] {
+		p.addReserve(c)
+	}
+	return c
+}
+
+// SelectCoreFork implements sched.Policy.
+func (p *Policy) SelectCoreFork(m sched.Machine, parent, child *proc.Task, parentCore machine.CoreID) machine.CoreID {
+	return p.selectCore(m, child, parentCore, func() machine.CoreID {
+		return p.cfs.SelectCoreFork(m, parent, child, parentCore)
+	})
+}
+
+// SelectCoreWakeup implements sched.Policy. The impatience counter
+// tracks successive wakeups that found the previous core occupied
+// (§3.1).
+func (p *Policy) SelectCoreWakeup(m sched.Machine, t *proc.Task, wakerCore machine.CoreID, sync bool) machine.CoreID {
+	ref := t.Last
+	if ref == proc.NoCore {
+		ref = wakerCore
+	}
+	if !p.cfg.DisableImpatience && t.Last != proc.NoCore {
+		td := dataOf(t)
+		if m.IsIdle(t.Last) {
+			td.impatience = 0
+		} else {
+			td.impatience++
+		}
+	}
+	return p.selectCore(m, t, ref, func() machine.CoreID {
+		return p.cfs.SelectCoreWakeup(m, t, wakerCore, sync)
+	})
+}
+
+// ScheduledIn implements sched.Policy: running on a primary core
+// refreshes its usage stamp.
+func (p *Policy) ScheduledIn(m sched.Machine, t *proc.Task, c machine.CoreID) {
+	p.ensure(m, c)
+	if p.inPrimary[c] {
+		p.lastUsed[c] = m.Now()
+	}
+}
+
+// Blocked implements sched.Policy: the block ends a usage period.
+func (p *Policy) Blocked(m sched.Machine, t *proc.Task, c machine.CoreID) {
+	p.ensure(m, c)
+	if p.inPrimary[c] {
+		p.lastUsed[c] = m.Now()
+	}
+}
+
+// Exited implements sched.Policy: a core left idle by an exiting task is
+// no longer useful and is demoted immediately (§3.1).
+func (p *Policy) Exited(m sched.Machine, t *proc.Task, c machine.CoreID, coreIdle bool) {
+	p.ensure(m, c)
+	if coreIdle && p.inPrimary[c] {
+		p.demote(c)
+	}
+}
+
+// IdleSpin implements sched.Policy: nest cores stay warm for up to S_max
+// (§3.2).
+func (p *Policy) IdleSpin(m sched.Machine, c machine.CoreID) sim.Duration {
+	if p.cfg.DisableSpin {
+		return 0
+	}
+	p.ensure(m, c)
+	if p.inPrimary[c] {
+		return p.cfg.SMax
+	}
+	return 0
+}

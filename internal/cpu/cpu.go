@@ -1,0 +1,393 @@
+// Package cpu is the machine runtime: it glues the discrete-event engine,
+// the topology, the frequency model, the governor and a scheduling policy
+// into an executable machine that runs task programs and measures what
+// the paper measures.
+//
+// The runtime owns run queues, ticks, preemption, idle balancing, idle
+// spinning, the placement-flag protocol of §3.4, and all accounting
+// (underload, frequency histograms, energy, latencies). Policies only
+// pick cores.
+package cpu
+
+import (
+	"fmt"
+
+	"repro/internal/freqmodel"
+	"repro/internal/governor"
+	"repro/internal/machine"
+	"repro/internal/metrics"
+	"repro/internal/pelt"
+	"repro/internal/proc"
+	"repro/internal/sched"
+	"repro/internal/sim"
+)
+
+// Overheads model the cost of scheduler code paths. The hackbench result
+// (§5.6) — where Nest's longer core-selection path and the
+// instruction-cache misses of stacking many tasks on few cores cause a
+// slowdown — flows entirely from these.
+type Overheads struct {
+	// PlacementLatency is the select-to-enqueue delay during which the
+	// destination's placement flag protects against collisions.
+	PlacementLatency sim.Duration
+	// PerCoreSearch is charged per core examined during placement.
+	PerCoreSearch sim.Duration
+	// CtxSwitch is the warm context-switch cost.
+	CtxSwitch sim.Duration
+	// ColdSwitch is the extra cost when the incoming task's working set
+	// is no longer in the instruction cache.
+	ColdSwitch sim.Duration
+	// Fork is charged to the parent for each fork.
+	Fork sim.Duration
+	// Migration is charged to a task scheduled in on a different core
+	// than its last one.
+	Migration sim.Duration
+}
+
+// DefaultOverheads returns costs in the range measured on real servers.
+func DefaultOverheads() Overheads {
+	return Overheads{
+		PlacementLatency: 1500 * sim.Nanosecond,
+		PerCoreSearch:    40 * sim.Nanosecond,
+		CtxSwitch:        1200 * sim.Nanosecond,
+		ColdSwitch:       3500 * sim.Nanosecond,
+		Fork:             25 * sim.Microsecond,
+		Migration:        2 * sim.Microsecond,
+	}
+}
+
+// Config assembles one run.
+type Config struct {
+	Spec   *machine.Spec
+	Gov    governor.Governor
+	Policy sched.Policy
+	Seed   uint64
+
+	// Overheads default to DefaultOverheads when zero.
+	Overheads *Overheads
+
+	// TimeSlice is the preemption quantum checked at each tick.
+	TimeSlice sim.Duration
+
+	// ActiveWindow is the lookback the hardware uses to count a socket's
+	// active cores for the turbo budget. Tasks bouncing across many
+	// cores keep them all "recently active", lowering every core's cap —
+	// the mechanism that punishes CFS's dispersal even when only a
+	// couple of tasks run at any instant.
+	ActiveWindow sim.Duration
+
+	// BalanceEvery is the idle-balance period in ticks per core.
+	BalanceEvery int
+
+	// SpinUtilSpeedShift / SpinUtilSpeedStep are the activity levels the
+	// hardware credits an idle-spinning core with. On Speed Shift parts
+	// the spin keeps the core looking fully busy; the Broadwell
+	// estimator discounts it — §5.3: "Even Nest's spinning is not
+	// sufficient to defeat this tendency" on the E7-8870 v4.
+	SpinUtilSpeedShift float64
+	SpinUtilSpeedStep  float64
+
+	// NewTaskUtil seeds a forked task's utilisation, mirroring the
+	// kernel's post_init_entity_util_avg.
+	NewTaskUtil float64
+
+	// SMTFactor is each hardware thread's throughput when its sibling is
+	// also busy (two threads share one physical core's pipeline).
+	SMTFactor float64
+
+	// DeepIdleAfter is how long a core idles before entering a deep
+	// C-state; DeepIdleExit is the wake latency it then pays before the
+	// placed task starts. The fork path's "expected time to wake from
+	// idle states" consideration (§2.1) keys off this.
+	DeepIdleAfter sim.Duration
+	DeepIdleExit  sim.Duration
+
+	// Trace, when non-nil, collects per-tick activity inside its window.
+	Trace *metrics.Trace
+
+	// Series, when non-nil, collects per-tick machine-wide samples
+	// (runnable count, busy cores, mean frequency, power).
+	Series *metrics.TimeSeries
+
+	// Timeline, when non-nil, records execution slices for Chrome-trace
+	// export.
+	Timeline *metrics.Timeline
+
+	// OnTaskExit, when non-nil, observes every task exit (for workload
+	// request-latency accounting).
+	OnTaskExit func(*proc.Task)
+}
+
+func (c *Config) fillDefaults() {
+	if c.Overheads == nil {
+		o := DefaultOverheads()
+		c.Overheads = &o
+	}
+	if c.TimeSlice == 0 {
+		c.TimeSlice = 6 * sim.Millisecond
+	}
+	if c.ActiveWindow == 0 {
+		c.ActiveWindow = 20 * sim.Millisecond
+	}
+	if c.BalanceEvery == 0 {
+		c.BalanceEvery = 2
+	}
+	if c.SpinUtilSpeedShift == 0 {
+		c.SpinUtilSpeedShift = 1.0
+	}
+	if c.SpinUtilSpeedStep == 0 {
+		c.SpinUtilSpeedStep = 0.35
+	}
+	if c.NewTaskUtil == 0 {
+		c.NewTaskUtil = 0.55
+	}
+	if c.SMTFactor == 0 {
+		c.SMTFactor = 0.62
+	}
+	if c.DeepIdleAfter == 0 {
+		c.DeepIdleAfter = 5 * sim.Millisecond
+	}
+	if c.DeepIdleExit == 0 {
+		c.DeepIdleExit = 60 * sim.Microsecond
+	}
+}
+
+// coreState is the runtime state of one hardware thread.
+type coreState struct {
+	id    machine.CoreID
+	cur   *proc.Task
+	queue []*proc.Task
+
+	util pelt.Signal
+
+	// hwUtil is the hardware's own short-horizon activity estimate
+	// (HWP), which drives the Speed Shift frequency grant.
+	hwUtil pelt.Signal
+
+	// claimed marks an in-flight placement (§3.4's run-queue flag).
+	claimed bool
+
+	// spinUntil > now means the idle loop is spinning to keep the core
+	// warm (§3.2).
+	spinUntil sim.Time
+
+	// lastActive is the most recent time the core ran or spun, feeding
+	// the hardware's windowed active-core count.
+	lastActive sim.Time
+
+	idleSince    sim.Time
+	curStart     sim.Time
+	progressMark sim.Time
+	completion   *sim.Event
+
+	// icache is a ring of recently executed task IDs; switching to a
+	// task outside it pays the cold-switch penalty.
+	icache    [6]proc.TaskID
+	icacheLen int
+	icachePos int
+
+	usedInInterval bool
+}
+
+// Machine is one simulated server executing one workload under one
+// scheduler/governor pair.
+type Machine struct {
+	cfg    Config
+	eng    *sim.Engine
+	spec   *machine.Spec
+	topo   *machine.Topology
+	gov    governor.Governor
+	policy sched.Policy
+	fm     *freqmodel.Model
+	rng    *sim.Rand
+
+	cores []coreState
+
+	nextID    proc.TaskID
+	liveTasks int
+	started   bool
+	finishAt  sim.Time
+
+	// Placement bookkeeping.
+	pendingSearch sim.Duration
+
+	// Underload interval state (§5.2): cores touched and the maximum
+	// simultaneous runnable count within the current 4 ms interval.
+	curRunnable int
+	maxRunnable int
+	tickIndex   int
+
+	// Per-tick scratch, allocated once.
+	physActive []bool
+	sockActive []int
+	sockMaxF   []machine.FreqMHz
+
+	// sockLoads / sockRunning are per-socket statistics cached at the
+	// last tick, the stale domain statistics CFS placement consults.
+	sockLoads   []float64
+	sockRunning []int
+
+	res *metrics.Result
+
+	// lastTickPowerW is the whole-machine power computed by the last
+	// energy pass, for the time-series sampler.
+	lastTickPowerW float64
+
+	// bootCore is where root tasks are forked from.
+	bootCore machine.CoreID
+}
+
+// New builds a machine from cfg.
+func New(cfg Config) *Machine {
+	cfg.fillDefaults()
+	if cfg.Spec == nil || cfg.Gov == nil || cfg.Policy == nil {
+		panic("cpu: Config needs Spec, Gov and Policy")
+	}
+	m := &Machine{
+		cfg:    cfg,
+		eng:    sim.NewEngine(),
+		spec:   cfg.Spec,
+		topo:   cfg.Spec.Topo,
+		gov:    cfg.Gov,
+		policy: cfg.Policy,
+		fm:     freqmodel.New(cfg.Spec),
+		rng:    sim.NewRand(cfg.Seed),
+	}
+	n := m.topo.NumCores()
+	m.cores = make([]coreState, n)
+	for i := range m.cores {
+		m.cores[i].id = machine.CoreID(i)
+		m.cores[i].lastActive = -sim.Second // long before the run starts
+		m.cores[i].hwUtil = pelt.WithHalfLife(2 * sim.Millisecond)
+	}
+	m.physActive = make([]bool, m.topo.NumPhysical())
+	m.sockActive = make([]int, m.topo.NumSockets())
+	m.sockMaxF = make([]machine.FreqMHz, m.topo.NumSockets())
+	m.sockLoads = make([]float64, m.topo.NumSockets())
+	m.sockRunning = make([]int, m.topo.NumSockets())
+	m.res = &metrics.Result{
+		MachineName: m.topo.Name(),
+		Scheduler:   cfg.Policy.Name(),
+		Governor:    cfg.Gov.Name(),
+		Seed:        cfg.Seed,
+		FreqHist:    metrics.NewHist(metrics.EdgesFor(cfg.Spec)),
+	}
+	return m
+}
+
+// Engine exposes the event engine so workload drivers can schedule
+// external events (request arrivals).
+func (m *Machine) Engine() *sim.Engine { return m.eng }
+
+// OnExit registers an additional task-exit observer (multi-application
+// workloads use it to record per-application completion times).
+func (m *Machine) OnExit(fn func(*proc.Task)) {
+	prev := m.cfg.OnTaskExit
+	m.cfg.OnTaskExit = func(t *proc.Task) {
+		if prev != nil {
+			prev(t)
+		}
+		fn(t)
+	}
+}
+
+// Result returns the run's measurements (complete only after Run).
+func (m *Machine) Result() *metrics.Result { return m.res }
+
+// Spawn creates and places a root task (no parent) from the boot core.
+func (m *Machine) Spawn(name string, b proc.Behavior) *proc.Task {
+	t := m.newTask(name, b, nil)
+	m.placeFork(nil, m.bootCore, t)
+	return t
+}
+
+func (m *Machine) newTask(name string, b proc.Behavior, parent *proc.Task) *proc.Task {
+	m.nextID++
+	t := &proc.Task{
+		ID:       m.nextID,
+		Name:     name,
+		Behavior: b,
+		State:    proc.StateNew,
+		Cur:      proc.NoCore,
+		Last:     proc.NoCore,
+		Prev2:    proc.NoCore,
+		Parent:   parent,
+		Created:  m.eng.Now(),
+	}
+	// A forked task inherits its parent's utilisation, as the kernel's
+	// post_init_entity_util_avg seeds new tasks from the runqueue: the
+	// children of a busy shell immediately look busy to schedutil.
+	seed := m.cfg.NewTaskUtil
+	if parent != nil {
+		if pu := parent.Util.Value(m.eng.Now()); pu > seed {
+			seed = pu
+		}
+	}
+	t.Util.Reset(m.eng.Now(), seed)
+	m.liveTasks++
+	return t
+}
+
+// Run executes until every task has exited or until the virtual-time
+// limit (0 = no limit). It finalises and returns the result.
+func (m *Machine) Run(limit sim.Time) *metrics.Result {
+	if !m.started {
+		m.started = true
+		m.eng.After(sim.Tick, m.tick)
+	}
+	m.eng.RunUntil(func() bool {
+		if m.liveTasks == 0 {
+			return true
+		}
+		if limit > 0 && m.eng.Now() >= limit {
+			return true
+		}
+		// Quiescence guard: if no task can ever run again (everything
+		// blocked on synchronisation with no pending timers), only the
+		// tick remains in the queue — stop instead of ticking forever.
+		return m.quiescent()
+	})
+	if m.liveTasks > 0 {
+		m.res.SetCustom("truncated", 1)
+		m.finishAt = m.eng.Now()
+	}
+	m.finalize()
+	return m.res
+}
+
+// quiescent reports a deadlock: live tasks remain but none is runnable
+// or sleeping on a timer, and no placement is in flight (the only queued
+// events are housekeeping ticks).
+func (m *Machine) quiescent() bool {
+	if m.curRunnable > 0 {
+		return false
+	}
+	// Sleeping tasks have timer events; placements and spin expiries are
+	// also real events. The tick re-arms itself once per pass, so a
+	// pending count above 1 means something real is scheduled.
+	return m.eng.Pending() <= 1
+}
+
+func (m *Machine) finalize() {
+	// Runs shorter than a tick never reached an energy pass; flush a
+	// prorated final sample so energy is never zero for non-empty runs.
+	if m.res.EnergyJ == 0 && m.finishAt > 0 {
+		frac := m.finishAt.Seconds() / sim.Tick.Seconds()
+		m.energyPass()
+		m.res.EnergyJ *= frac
+	}
+	m.res.Runtime = m.finishAt
+	secs := m.finishAt.Seconds()
+	if secs > 0 {
+		m.res.UnderloadPerSec = m.res.Underload / secs
+		m.res.OverloadPerSec /= secs
+	}
+	if m.tickIndex > 0 {
+		m.res.UnderloadAvg = m.res.Underload / float64(m.tickIndex)
+	}
+}
+
+// Workload drivers sometimes need a plain description of the machine.
+func (m *Machine) String() string {
+	return fmt.Sprintf("%s / %s / %s", m.topo.Name(), m.policy.Name(), m.gov.Name())
+}

@@ -1,0 +1,119 @@
+package cpu
+
+// This file implements sched.Machine: the read/claim view policies get
+// during core selection.
+
+import (
+	"repro/internal/machine"
+	"repro/internal/proc"
+	"repro/internal/sim"
+)
+
+// Spec implements sched.Machine.
+func (m *Machine) Spec() *machine.Spec { return m.spec }
+
+// Topo implements sched.Machine.
+func (m *Machine) Topo() *machine.Topology { return m.topo }
+
+// Now implements sched.Machine.
+func (m *Machine) Now() sim.Time { return m.eng.Now() }
+
+// Rand implements sched.Machine.
+func (m *Machine) Rand() *sim.Rand { return m.rng }
+
+// IsIdle implements sched.Machine: no running task and nothing queued.
+// An idle-spinning core is still idle for placement.
+func (m *Machine) IsIdle(c machine.CoreID) bool {
+	cs := &m.cores[c]
+	return cs.cur == nil && len(cs.queue) == 0
+}
+
+// QueueLen implements sched.Machine.
+func (m *Machine) QueueLen(c machine.CoreID) int {
+	cs := &m.cores[c]
+	n := len(cs.queue)
+	if cs.cur != nil {
+		n++
+	}
+	return n
+}
+
+// LoadAvg implements sched.Machine: decaying utilisation plus queued
+// load. The utilisation term keeps recently idled cores "loaded", the
+// behaviour behind CFS's cold-core preference.
+func (m *Machine) LoadAvg(c machine.CoreID) float64 {
+	cs := &m.cores[c]
+	return cs.util.Value(m.eng.Now()) + float64(len(cs.queue))
+}
+
+// CurFreq implements sched.Machine.
+func (m *Machine) CurFreq(c machine.CoreID) machine.FreqMHz { return m.fm.Cur(c) }
+
+// TickFreq implements sched.Machine.
+func (m *Machine) TickFreq(c machine.CoreID) machine.FreqMHz { return m.fm.TickSample(c) }
+
+// IdleSince implements sched.Machine.
+func (m *Machine) IdleSince(c machine.CoreID) (sim.Time, bool) {
+	cs := &m.cores[c]
+	if cs.cur != nil {
+		return 0, false
+	}
+	return cs.idleSince, true
+}
+
+// Claimed implements sched.Machine.
+func (m *Machine) Claimed(c machine.CoreID) bool { return m.cores[c].claimed }
+
+// SocketLoads implements sched.Machine: per-socket load sums as of the
+// last tick (stale, as the kernel's domain statistics are).
+func (m *Machine) SocketLoads() []float64 { return m.sockLoads }
+
+// SocketRunning implements sched.Machine: per-socket runnable counts,
+// computed fresh — the kernel's find_idlest_group iterates runqueues at
+// fork time, so a fork storm sees its own earlier placements.
+func (m *Machine) SocketRunning() []int {
+	for s := range m.sockRunning {
+		m.sockRunning[s] = 0
+	}
+	for i := range m.cores {
+		cs := &m.cores[i]
+		n := len(cs.queue)
+		if cs.cur != nil {
+			n++
+		}
+		if cs.claimed {
+			n++ // in-flight placement counts as arriving load
+		}
+		m.sockRunning[m.topo.Socket(cs.id)] += n
+	}
+	return m.sockRunning
+}
+
+// ChargeSearch implements sched.Machine.
+func (m *Machine) ChargeSearch(examined int, fixed sim.Duration) {
+	m.pendingSearch += sim.Duration(examined)*m.cfg.Overheads.PerCoreSearch + fixed
+	m.res.Counters.CoresExamined += int64(examined)
+}
+
+// MoveIfStillQueued implements sched.Machine: the Smove migration timer.
+func (m *Machine) MoveIfStillQueued(t *proc.Task, to machine.CoreID, d sim.Duration) {
+	m.eng.After(d, func() {
+		// Skip unless the task is actually sitting on a queue: it may be
+		// running, blocked again, or in flight between placement and
+		// enqueue (Cur is NoCore then).
+		if t.State != proc.StateRunnable || t.Cur == to || t.Cur == proc.NoCore {
+			return
+		}
+		from := t.Cur
+		cs := &m.cores[from]
+		for i, q := range cs.queue {
+			if q == t {
+				cs.queue = append(cs.queue[:i], cs.queue[i+1:]...)
+				m.curRunnable--
+				m.res.Counters.Migrations++
+				m.enqueue(t, to)
+				return
+			}
+		}
+	})
+}

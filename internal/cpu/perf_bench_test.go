@@ -1,0 +1,73 @@
+package cpu
+
+import (
+	"testing"
+
+	"repro/internal/cfs"
+	nest "repro/internal/core"
+	"repro/internal/governor"
+	"repro/internal/machine"
+	"repro/internal/proc"
+	"repro/internal/sched"
+	"repro/internal/sim"
+)
+
+// benchWorkload is a mixed fork/sleep/compute load that exercises the
+// hot paths: placement, enqueue, completion, ticks, balancing.
+func benchWorkload(m *Machine, spec *machine.Spec) {
+	work := proc.Cycles(800*sim.Microsecond, spec.Nominal)
+	for i := 0; i < 16; i++ {
+		m.Spawn("blinker", proc.Loop(200, func(int) []proc.Action {
+			return []proc.Action{proc.Compute{Cycles: work}, proc.Sleep{D: 2 * sim.Millisecond}}
+		}))
+	}
+	m.Spawn("forker", proc.Loop(200, func(int) []proc.Action {
+		return []proc.Action{
+			proc.Fork{Name: "kid", Behavior: proc.Script(proc.Compute{Cycles: work})},
+			proc.WaitChildren{},
+		}
+	}))
+}
+
+func benchPolicy(b *testing.B, mk func() sched.Policy) {
+	spec := machine.IntelXeon6130(2)
+	b.ReportAllocs()
+	var events uint64
+	for i := 0; i < b.N; i++ {
+		m := New(Config{Spec: spec, Gov: governor.Schedutil{}, Policy: mk(), Seed: uint64(i + 1)})
+		benchWorkload(m, spec)
+		m.Run(0)
+		events += m.Engine().Steps()
+	}
+	b.ReportMetric(float64(events)/float64(b.N), "events/run")
+	b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/s")
+}
+
+// BenchmarkRuntimeCFS measures end-to-end simulation throughput under
+// the CFS policy.
+func BenchmarkRuntimeCFS(b *testing.B) {
+	benchPolicy(b, func() sched.Policy { return cfs.Default() })
+}
+
+// BenchmarkRuntimeNest measures the same under Nest (longer searches).
+func BenchmarkRuntimeNest(b *testing.B) {
+	benchPolicy(b, func() sched.Policy { return nest.Default() })
+}
+
+// BenchmarkEngineOnly measures the raw event engine.
+func BenchmarkEngineOnly(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e := sim.NewEngine()
+		n := 0
+		var tick func()
+		tick = func() {
+			n++
+			if n < 100000 {
+				e.After(sim.Microsecond, tick)
+			}
+		}
+		e.After(sim.Microsecond, tick)
+		e.Run(0)
+	}
+}

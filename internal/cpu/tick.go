@@ -1,0 +1,345 @@
+package cpu
+
+import (
+	"repro/internal/machine"
+	"repro/internal/metrics"
+	"repro/internal/proc"
+	"repro/internal/sim"
+)
+
+// tick is the periodic scheduler + hardware update (250 Hz).
+func (m *Machine) tick() {
+	now := m.eng.Now()
+	m.tickIndex++
+
+	m.preemptPass(now)
+	m.freqAndAccountingPass(now)
+	m.energyPass()
+	m.underloadPass(now)
+	m.balancePass()
+	m.refreshSocketLoads(now)
+	m.samplePass(now)
+
+	if m.liveTasks > 0 {
+		m.eng.After(sim.Tick, m.tick)
+	}
+}
+
+// preemptPass rotates cores whose current task exhausted its time slice
+// while others wait, CFS-style (lowest vruntime next).
+func (m *Machine) preemptPass(now sim.Time) {
+	for i := range m.cores {
+		cs := &m.cores[i]
+		if cs.cur == nil || len(cs.queue) == 0 {
+			continue
+		}
+		if now-cs.curStart < m.cfg.TimeSlice {
+			continue
+		}
+		t := cs.cur
+		m.accountProgress(cs.id)
+		m.recordSlice(t, cs.id, cs.curStart, now)
+		if cs.completion != nil {
+			m.eng.Cancel(cs.completion)
+		}
+		cs.cur = nil
+		t.State = proc.StateRunnable
+		t.LastWoken = -1 // requeue, not a wakeup
+		t.EnqueuedAt = now
+		t.Util.SetRunning(now, false)
+		cs.queue = append(cs.queue, t)
+		m.res.Counters.Preemptions++
+		m.scheduleIn(cs.id)
+	}
+}
+
+// activePhysOnSocket counts physical cores on socket s that were active
+// within the hardware's lookback window — the basis of the turbo budget.
+func (m *Machine) activePhysOnSocket(s int, now sim.Time) int {
+	horizon := now - m.cfg.ActiveWindow
+	base := s * m.topo.PhysPerSocket()
+	seen := make(map[int]bool, m.topo.PhysPerSocket())
+	for _, c := range m.topo.SocketCores(s) {
+		cs := &m.cores[c]
+		if cs.cur != nil || cs.spinUntil > now || cs.lastActive >= horizon {
+			seen[m.topo.Core(c).Physical-base] = true
+		}
+	}
+	return len(seen)
+}
+
+// freqAndAccountingPass books progress at the old frequencies, lets the
+// hardware pick new ones, and re-arms completion events.
+func (m *Machine) freqAndAccountingPass(now sim.Time) {
+	// Refresh activity stamps, then count recently active physical cores
+	// per socket for the turbo budget.
+	horizon := now - m.cfg.ActiveWindow
+	for i := range m.physActive {
+		m.physActive[i] = false
+	}
+	for i := range m.sockActive {
+		m.sockActive[i] = 0
+	}
+	for i := range m.cores {
+		cs := &m.cores[i]
+		if cs.cur != nil || cs.spinUntil > now {
+			cs.lastActive = now
+		}
+		if cs.lastActive >= horizon {
+			m.physActive[m.topo.Core(cs.id).Physical] = true
+		}
+	}
+	for p, a := range m.physActive {
+		if a {
+			m.sockActive[p/m.topo.PhysPerSocket()]++
+		}
+	}
+
+	for i := range m.cores {
+		cs := &m.cores[i]
+		active := cs.cur != nil || cs.spinUntil > now
+		if cs.spinUntil > now {
+			m.res.Counters.SpinTicksTotal++
+		}
+		m.accountProgress(cs.id) // at the outgoing frequency
+		util := cs.util.Value(now)
+		req := m.gov.Request(m.spec, util, active)
+		sock := m.topo.Socket(cs.id)
+		f := m.fm.TickUpdate(cs.id, active, req, m.sockActive[sock], cs.hwUtil.Value(now))
+		if cs.cur != nil {
+			m.scheduleCompletion(cs.id)
+			cs.usedInInterval = true
+			m.cfg.Trace.AddPoint(now, cs.id, f)
+		}
+	}
+}
+
+// energyPass integrates socket power over the tick. Socket power follows
+// the highest-frequency active core (§5.2): the shared voltage rail is
+// set by the fastest core, and each active core's dynamic power scales
+// with its frequency times that voltage squared.
+func (m *Machine) energyPass() {
+	for s := range m.sockMaxF {
+		m.sockMaxF[s] = 0
+	}
+	now := m.eng.Now()
+	for i := range m.cores {
+		cs := &m.cores[i]
+		if cs.cur == nil && cs.spinUntil <= now {
+			continue
+		}
+		s := m.topo.Socket(cs.id)
+		if f := m.fm.Cur(cs.id); f > m.sockMaxF[s] {
+			m.sockMaxF[s] = f
+		}
+	}
+	// A spinning idle loop retires almost no µops; its dynamic power is a
+	// small fraction of real work at the same frequency.
+	const spinDynFactor = 0.15
+	tickSec := sim.Tick.Seconds()
+	var totalW float64
+	for s := 0; s < m.topo.NumSockets(); s++ {
+		p := m.spec.IdleSocketW
+		if m.sockMaxF[s] > 0 {
+			vRel := m.sockMaxF[s].GHz() / m.spec.Nominal.GHz()
+			v2 := vRel * vRel
+			p += m.spec.UncoreFreqW * m.sockMaxF[s].GHz()
+			for _, c := range m.topo.SocketCores(s) {
+				cs := &m.cores[c]
+				switch {
+				case cs.cur != nil:
+					p += m.spec.ActiveBaseW + m.spec.DynPerGHzW*m.fm.Cur(c).GHz()*v2
+				case cs.spinUntil > now:
+					p += m.spec.ActiveBaseW + spinDynFactor*m.spec.DynPerGHzW*m.fm.Cur(c).GHz()*v2
+				}
+			}
+		}
+		m.res.EnergyJ += p * tickSec
+		totalW += p
+	}
+	m.lastTickPowerW = totalW
+}
+
+// samplePass feeds the optional time-series collector.
+func (m *Machine) samplePass(now sim.Time) {
+	if m.cfg.Series == nil {
+		return
+	}
+	busy, spin := 0, 0
+	var freqSum float64
+	for i := range m.cores {
+		cs := &m.cores[i]
+		switch {
+		case cs.cur != nil:
+			busy++
+			freqSum += float64(m.fm.Cur(cs.id))
+		case cs.spinUntil > now:
+			spin++
+		}
+	}
+	mean := 0.0
+	if busy > 0 {
+		mean = freqSum / float64(busy)
+	}
+	m.cfg.Series.Add(metrics.TickSample{
+		Time:        now,
+		Runnable:    m.curRunnable,
+		BusyCores:   busy,
+		SpinCores:   spin,
+		MeanBusyMHz: mean,
+		PowerW:      m.lastTickPowerW,
+	})
+}
+
+// underloadPass closes the 4 ms underload interval of §5.2: cores used
+// minus the maximum simultaneous runnable count, when positive, measures
+// placements onto long-idle cores instead of reusable warm ones. It also
+// tracks overload (tasks queued while other cores sit idle).
+func (m *Machine) underloadPass(now sim.Time) {
+	used := 0
+	waiting := 0
+	idle := 0
+	for i := range m.cores {
+		cs := &m.cores[i]
+		if cs.usedInInterval {
+			used++
+			cs.usedInInterval = false
+		}
+		waiting += len(cs.queue)
+		if cs.cur == nil {
+			idle++
+		}
+	}
+	if u := used - m.maxRunnable; u > 0 {
+		m.res.Underload += float64(u)
+		m.cfg.Trace.AddUnderload(now, u)
+	} else {
+		m.cfg.Trace.AddUnderload(now, 0)
+	}
+	if waiting > 0 && idle > 0 {
+		ov := waiting
+		if idle < ov {
+			ov = idle
+		}
+		m.res.OverloadPerSec += float64(ov) // normalised in finalize
+	}
+	m.maxRunnable = m.curRunnable
+}
+
+// balancePass is a model of CFS idle balancing: an idle core periodically
+// pulls a waiting task from the longest queue, same die first. Overloads
+// resolve gradually — a few ticks, as on real machines — rather than
+// instantly, which is what lets the paper's NAS-on-E7 fork overloads be
+// visible at all.
+func (m *Machine) balancePass() {
+	for i := range m.cores {
+		cs := &m.cores[i]
+		if cs.cur != nil || len(cs.queue) > 0 || cs.claimed {
+			continue
+		}
+		if (m.tickIndex+i)%m.cfg.BalanceEvery != 0 {
+			continue
+		}
+		victim := m.findBusiest(cs.id)
+		if victim < 0 {
+			continue
+		}
+		vs := &m.cores[victim]
+		// Cross-die pulls are damped as in the kernel (migration cost,
+		// imbalance_pct): a briefly waiting task does not justify a NUMA
+		// migration — which is why CFS leaves Rodinia's stacked
+		// hyperthread pairs, whose waiters rotate every time slice, on
+		// one socket (§5.5). A task stuck behind a long computation does
+		// get pulled.
+		if !m.topo.SameDie(cs.id, victim) && len(vs.queue) < 2 {
+			oldest := sim.Time(0)
+			now := m.eng.Now()
+			for _, q := range vs.queue {
+				if age := now - q.EnqueuedAt; age > oldest {
+					oldest = age
+				}
+			}
+			if oldest < 2*sim.Tick {
+				continue
+			}
+		}
+		// Steal a cache-cold waiter, if one exists.
+		t, idx := m.coldestWaiter(vs)
+		if t == nil {
+			continue
+		}
+		vs.queue = append(vs.queue[:idx], vs.queue[idx+1:]...)
+		m.curRunnable-- // enqueue below re-adds
+		m.res.Counters.LoadBalances++
+		m.enqueue(t, cs.id)
+	}
+}
+
+// cacheHotWindow mirrors sysctl_sched_migration_cost: a task that ran
+// within it is considered cache-hot and is not migrated.
+const cacheHotWindow = 500 * sim.Microsecond
+
+// coldestWaiter picks a migratable (not cache-hot) task from cs's queue,
+// preferring the one that has not run for the longest.
+func (m *Machine) coldestWaiter(cs *coreState) (*proc.Task, int) {
+	now := m.eng.Now()
+	var best *proc.Task
+	bi := -1
+	for i, q := range cs.queue {
+		if now-q.LastRan < cacheHotWindow {
+			continue
+		}
+		if best == nil || q.LastRan < best.LastRan {
+			best = q
+			bi = i
+		}
+	}
+	return best, bi
+}
+
+// refreshSocketLoads recomputes the per-socket load cache policies read
+// through SocketLoads.
+func (m *Machine) refreshSocketLoads(now sim.Time) {
+	for s := range m.sockLoads {
+		m.sockLoads[s] = 0
+	}
+	for i := range m.cores {
+		cs := &m.cores[i]
+		m.sockLoads[m.topo.Socket(cs.id)] += cs.util.Value(now) + float64(len(cs.queue))
+	}
+}
+
+// findBusiestOnDie locates a core on from's die with both a running task
+// and waiting ones; -1 if none.
+func (m *Machine) findBusiestOnDie(from machine.CoreID) machine.CoreID {
+	best := machine.CoreID(-1)
+	bestLen := 0
+	for _, c := range m.topo.SocketCores(m.topo.Socket(from)) {
+		cs := &m.cores[c]
+		if cs.cur != nil && len(cs.queue) > bestLen {
+			best = c
+			bestLen = len(cs.queue)
+		}
+	}
+	return best
+}
+
+// findBusiest locates a core with both a running task and waiting ones,
+// preferring the idle core's own die; -1 if none.
+func (m *Machine) findBusiest(from machine.CoreID) machine.CoreID {
+	best := machine.CoreID(-1)
+	bestLen := 0
+	for _, s := range m.topo.SocketOrder(from) {
+		for _, c := range m.topo.SocketCores(s) {
+			cs := &m.cores[c]
+			if cs.cur != nil && len(cs.queue) > bestLen {
+				best = c
+				bestLen = len(cs.queue)
+			}
+		}
+		if best >= 0 {
+			return best
+		}
+	}
+	return best
+}

@@ -1,0 +1,66 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"io"
+)
+
+// RenderCSV writes the report's tabular sections as CSV: one header row
+// per section with a leading "section" column. Preformatted content
+// (traces) is omitted — CSV is for the numbers.
+func (r *Report) RenderCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	defer cw.Flush()
+	for i := range r.Sections {
+		s := &r.Sections[i]
+		if len(s.Columns) == 0 {
+			continue
+		}
+		head := append([]string{"section"}, s.Columns...)
+		if err := cw.Write(head); err != nil {
+			return err
+		}
+		for _, row := range s.Rows {
+			if err := cw.Write(append([]string{s.Heading}, row...)); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// jsonReport mirrors Report for stable JSON encoding.
+type jsonReport struct {
+	ID       string        `json:"id"`
+	Title    string        `json:"title"`
+	Sections []jsonSection `json:"sections"`
+}
+
+type jsonSection struct {
+	Heading string     `json:"heading,omitempty"`
+	Columns []string   `json:"columns,omitempty"`
+	Rows    [][]string `json:"rows,omitempty"`
+	Pre     string     `json:"pre,omitempty"`
+	Notes   []string   `json:"notes,omitempty"`
+}
+
+// RenderJSON writes the full report, including traces and notes, as
+// indented JSON.
+func (r *Report) RenderJSON(w io.Writer) error {
+	out := jsonReport{ID: r.ID, Title: r.Title}
+	for i := range r.Sections {
+		s := &r.Sections[i]
+		out.Sections = append(out.Sections, jsonSection{
+			Heading: s.Heading,
+			Columns: s.Columns,
+			Rows:    s.Rows,
+			Pre:     s.Pre,
+			Notes:   s.Notes,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func sampleReport() *Report {
+	return &Report{
+		ID: "x", Title: "T",
+		Sections: []Section{
+			{
+				Heading: "m1",
+				Columns: []string{"app", "speedup"},
+				Rows:    [][]string{{"a", "+1.0%"}, {"b, with comma", "-2.0%"}},
+				Notes:   []string{"n"},
+			},
+			{Heading: "trace-only", Pre: "core 1 |##|"},
+		},
+	}
+}
+
+func TestRenderCSVRoundTrip(t *testing.T) {
+	var b strings.Builder
+	if err := sampleReport().RenderCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := csv.NewReader(strings.NewReader(b.String())).ReadAll()
+	if err != nil {
+		t.Fatalf("output not valid CSV: %v\n%s", err, b.String())
+	}
+	// Header + 2 rows; the trace-only section contributes nothing.
+	if len(recs) != 3 {
+		t.Fatalf("records = %d: %v", len(recs), recs)
+	}
+	if recs[1][0] != "m1" || recs[1][1] != "a" {
+		t.Fatalf("row = %v", recs[1])
+	}
+	if recs[2][1] != "b, with comma" {
+		t.Fatalf("comma field mangled: %v", recs[2])
+	}
+}
+
+func TestRenderJSONRoundTrip(t *testing.T) {
+	var b strings.Builder
+	if err := sampleReport().RenderJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	var back jsonReport
+	if err := json.Unmarshal([]byte(b.String()), &back); err != nil {
+		t.Fatalf("output not valid JSON: %v", err)
+	}
+	if back.ID != "x" || len(back.Sections) != 2 {
+		t.Fatalf("round trip lost data: %+v", back)
+	}
+	if back.Sections[1].Pre == "" {
+		t.Fatal("JSON dropped the trace section")
+	}
+}

@@ -1,0 +1,230 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/metrics"
+)
+
+// Options control how an experiment runs.
+type Options struct {
+	// Scale shortens workloads (1 = paper length).
+	Scale float64
+	// Runs is the number of repetitions averaged per configuration.
+	Runs int
+	// Seed is the base RNG seed.
+	Seed uint64
+	// Machines restricts the machine list (presets); nil = experiment
+	// default.
+	Machines []string
+}
+
+func (o *Options) fill() {
+	if o.Scale <= 0 {
+		o.Scale = DefaultScale
+	}
+	if o.Runs <= 0 {
+		o.Runs = 3
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+}
+
+// Report is an experiment's rendered result.
+type Report struct {
+	ID, Title string
+	Sections  []Section
+}
+
+// Section is one table (usually one machine) of a report.
+type Section struct {
+	Heading string
+	Columns []string
+	Rows    [][]string
+	// Pre is free-form preformatted content (traces) printed before the
+	// table.
+	Pre string
+	// Notes follow the table.
+	Notes []string
+}
+
+// Render writes the report as aligned text tables.
+func (r *Report) Render(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s ==\n", r.ID, r.Title)
+	for i := range r.Sections {
+		s := &r.Sections[i]
+		if s.Heading != "" {
+			fmt.Fprintf(w, "\n-- %s --\n", s.Heading)
+		}
+		if s.Pre != "" {
+			fmt.Fprintln(w, s.Pre)
+		}
+		if len(s.Columns) > 0 {
+			renderTable(w, s.Columns, s.Rows)
+		}
+		for _, n := range s.Notes {
+			fmt.Fprintf(w, "note: %s\n", n)
+		}
+	}
+}
+
+func renderTable(w io.Writer, cols []string, rows [][]string) {
+	widths := make([]int, len(cols))
+	for i, c := range cols {
+		widths[i] = len(c)
+	}
+	for _, r := range rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		var b strings.Builder
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			pad := 0
+			if i < len(widths) {
+				pad = widths[i] - len(c)
+			}
+			if i == 0 {
+				b.WriteString(c + strings.Repeat(" ", pad))
+			} else {
+				b.WriteString(strings.Repeat(" ", pad) + c)
+			}
+		}
+		fmt.Fprintln(w, b.String())
+	}
+	line(cols)
+	sep := make([]string, len(cols))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, r := range rows {
+		line(r)
+	}
+}
+
+// Experiment regenerates one paper artefact.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(Options) (*Report, error)
+}
+
+var experimentRegistry = map[string]*Experiment{}
+
+func registerExperiment(e *Experiment) {
+	if _, dup := experimentRegistry[e.ID]; dup {
+		panic("experiments: duplicate " + e.ID)
+	}
+	experimentRegistry[e.ID] = e
+}
+
+// ByID returns a registered experiment.
+func ByID(id string) (*Experiment, error) {
+	if e, ok := experimentRegistry[id]; ok {
+		return e, nil
+	}
+	return nil, fmt.Errorf("experiments: unknown experiment %q (see List)", id)
+}
+
+// List returns all experiment IDs, sorted.
+func List() []string {
+	out := make([]string, 0, len(experimentRegistry))
+	for id := range experimentRegistry {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Titles returns id → title for all experiments.
+func Titles() map[string]string {
+	out := make(map[string]string, len(experimentRegistry))
+	for id, e := range experimentRegistry {
+		out[id] = e.Title
+	}
+	return out
+}
+
+// --- shared helpers for figure construction ---
+
+// config is one scheduler/governor pair.
+type config struct{ sched, gov string }
+
+func (c config) String() string {
+	g := c.gov
+	if g == "schedutil" {
+		g = "sched"
+	} else if g == "performance" {
+		g = "perf"
+	}
+	return c.sched + "-" + g
+}
+
+var (
+	cfgCFSSched   = config{"cfs", "schedutil"}
+	cfgCFSPerf    = config{"cfs", "performance"}
+	cfgNestSched  = config{"nest", "schedutil"}
+	cfgNestPerf   = config{"nest", "performance"}
+	cfgSmoveSched = config{"smove", "schedutil"}
+)
+
+// paperConfigs is the standard four-bar set of the figures.
+var paperConfigs = []config{cfgCFSSched, cfgCFSPerf, cfgNestSched, cfgNestPerf}
+
+// measure runs a (machine, config, workload) cell and aggregates repeats.
+type cell struct {
+	results []*metrics.Result
+}
+
+func (c *cell) meanTime() float64   { return metrics.Mean(metrics.Runtimes(c.results)) }
+func (c *cell) meanEnergy() float64 { return metrics.Mean(metrics.Energies(c.results)) }
+func (c *cell) stdPct() float64 {
+	ts := metrics.Runtimes(c.results)
+	m := metrics.Mean(ts)
+	if m == 0 {
+		return 0
+	}
+	return 100 * metrics.Stddev(ts) / m
+}
+func (c *cell) first() *metrics.Result { return c.results[0] }
+
+func measure(machineName string, cfg config, wl string, opt Options) (*cell, error) {
+	rs := RunSpec{
+		Machine:   machineName,
+		Scheduler: cfg.sched,
+		Governor:  cfg.gov,
+		Workload:  wl,
+		Scale:     opt.Scale,
+		Seed:      opt.Seed,
+	}
+	results, err := RunRepeats(rs, opt.Runs)
+	if err != nil {
+		return nil, err
+	}
+	return &cell{results: results}, nil
+}
+
+// pct renders a speedup as the paper does (+12.3%).
+func pct(v float64) string { return fmt.Sprintf("%+.1f%%", 100*v) }
+
+// machinesOrDefault resolves the machine list.
+func machinesOrDefault(opt Options, def []string) []string {
+	if len(opt.Machines) > 0 {
+		return opt.Machines
+	}
+	return def
+}
+
+// paperMachineNames is the four evaluation servers in figure order.
+var paperMachineNames = []string{"6130-2", "6130-4", "5218", "e7-8870"}

@@ -1,0 +1,186 @@
+// Package experiments wires machines, schedulers, governors and
+// workloads into the paper's figures and tables, and renders the results
+// as text reports.
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/cfs"
+	nest "repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/governor"
+	"repro/internal/machine"
+	"repro/internal/metrics"
+	"repro/internal/naive"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/smove"
+	"repro/internal/workload"
+)
+
+// SchedulerFactory builds a fresh policy per run (policies hold state).
+type SchedulerFactory func() sched.Policy
+
+// Schedulers returns the named policy factory: "cfs", "nest", "smove",
+// or "nest:<toggle>[,...]" for ablation variants (see NestVariant).
+func Schedulers(name string) (SchedulerFactory, error) {
+	switch name {
+	case "cfs":
+		return func() sched.Policy { return cfs.Default() }, nil
+	case "nest":
+		return func() sched.Policy { return nest.Default() }, nil
+	case "smove":
+		return func() sched.Policy { return smove.Default() }, nil
+	case "cfs:claims":
+		// §3.4: the placement-flag optimisation applied to CFS alone,
+		// the counterfactual the paper suggests evaluating.
+		return func() sched.Policy {
+			cfg := cfs.DefaultConfig()
+			cfg.RespectClaims = true
+			return cfs.New(cfg)
+		}, nil
+	case "random":
+		return func() sched.Policy { return naive.NewRandom() }, nil
+	case "sticky":
+		return func() sched.Policy { return naive.NewSticky() }, nil
+	}
+	if cfg, ok := NestVariant(name); ok {
+		return func() sched.Policy { return nest.New(cfg) }, nil
+	}
+	return nil, fmt.Errorf("experiments: unknown scheduler %q", name)
+}
+
+// NestVariant parses "nest:flag[,flag...]" ablation names. Flags:
+// noreserve, nocompact, nospin, noattach, nowc, noimpatience, noclaim,
+// and parameter overrides premove=<ticks>, smax=<ticks>, rmax=<n>,
+// rimpatient=<n>.
+func NestVariant(name string) (nest.Config, bool) {
+	cfg := nest.DefaultConfig()
+	if len(name) < 6 || name[:5] != "nest:" {
+		return cfg, false
+	}
+	rest := name[5:]
+	for _, f := range splitComma(rest) {
+		switch {
+		case f == "noreserve":
+			cfg.DisableReserve = true
+		case f == "nocompact":
+			cfg.DisableCompaction = true
+		case f == "nospin":
+			cfg.DisableSpin = true
+		case f == "noattach":
+			cfg.DisableAttach = true
+		case f == "nowc":
+			cfg.DisableWorkConservation = true
+		case f == "noimpatience":
+			cfg.DisableImpatience = true
+		case f == "noclaim":
+			cfg.DisableClaimCheck = true
+		default:
+			var v int
+			if n, _ := fmt.Sscanf(f, "premove=%d", &v); n == 1 {
+				cfg.PRemove = sim.Duration(v) * sim.Tick
+			} else if n, _ := fmt.Sscanf(f, "smax=%d", &v); n == 1 {
+				cfg.SMax = sim.Duration(v) * sim.Tick
+			} else if n, _ := fmt.Sscanf(f, "rmax=%d", &v); n == 1 {
+				cfg.RMax = v
+			} else if n, _ := fmt.Sscanf(f, "rimpatient=%d", &v); n == 1 {
+				cfg.RImpatient = v
+			} else {
+				return cfg, false
+			}
+		}
+	}
+	return cfg, true
+}
+
+func splitComma(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i <= len(s); i++ {
+		if i == len(s) || s[i] == ',' {
+			if i > start {
+				out = append(out, s[start:i])
+			}
+			start = i + 1
+		}
+	}
+	return out
+}
+
+// RunSpec names one run.
+type RunSpec struct {
+	Machine   string // preset name, e.g. "5218"
+	Scheduler string // "cfs", "nest", "smove", "nest:<flags>"
+	Governor  string // "schedutil" or "performance"
+	Workload  string // registered workload name
+	Scale     float64
+	Seed      uint64
+	Trace     *metrics.Trace
+	Series    *metrics.TimeSeries
+	Timeline  *metrics.Timeline
+	Limit     sim.Time // 0 = none
+}
+
+// Run executes one configuration and returns its measurements.
+func Run(rs RunSpec) (*metrics.Result, error) {
+	spec, err := machine.Preset(rs.Machine)
+	if err != nil {
+		return nil, err
+	}
+	return RunOnSpec(spec, rs)
+}
+
+// RunOnSpec is Run with an explicit machine spec (for non-preset
+// machines in tests).
+func RunOnSpec(spec *machine.Spec, rs RunSpec) (*metrics.Result, error) {
+	sf, err := Schedulers(rs.Scheduler)
+	if err != nil {
+		return nil, err
+	}
+	gov, err := governor.ByName(rs.Governor)
+	if err != nil {
+		return nil, err
+	}
+	w, err := workload.ByName(rs.Workload)
+	if err != nil {
+		return nil, err
+	}
+	if rs.Scale <= 0 {
+		rs.Scale = DefaultScale
+	}
+	m := cpu.New(cpu.Config{
+		Spec:     spec,
+		Gov:      gov,
+		Policy:   sf(),
+		Seed:     rs.Seed,
+		Trace:    rs.Trace,
+		Series:   rs.Series,
+		Timeline: rs.Timeline,
+	})
+	w.Install(m, rs.Scale)
+	res := m.Run(rs.Limit)
+	res.Workload = rs.Workload
+	return res, nil
+}
+
+// DefaultScale shortens workloads to ~1/25 of paper length so the full
+// grid runs in minutes; use Scale 1 for paper-length runs.
+const DefaultScale = 0.04
+
+// RunRepeats executes n runs with consecutive seeds and returns all
+// results.
+func RunRepeats(rs RunSpec, n int) ([]*metrics.Result, error) {
+	out := make([]*metrics.Result, 0, n)
+	for i := 0; i < n; i++ {
+		r := rs
+		r.Seed = rs.Seed + uint64(i)
+		res, err := Run(r)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}

@@ -1,0 +1,122 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/machine"
+	"repro/internal/metrics"
+	"repro/internal/workload"
+)
+
+// table2 prints the encoded hardware characteristics.
+func table2(opt Options) (*Report, error) {
+	sec := Section{
+		Columns: []string{"CPU", "Microarchitecture", "cores", "Min freq", "Max freq", "Max turbo", "Power management"},
+	}
+	for _, spec := range machine.PaperMachines() {
+		t := spec.Topo
+		sec.Rows = append(sec.Rows, []string{
+			t.Name(), spec.Arch,
+			fmt.Sprintf("%dx%dx%d = %d", t.NumSockets(), t.PhysPerSocket(), t.SMT(), t.NumCores()),
+			spec.Min.String(), spec.Nominal.String(), spec.MaxTurbo().String(),
+			spec.Ramp.String(),
+		})
+	}
+	return &Report{ID: "table2", Title: "Hardware characteristics", Sections: []Section{sec}}, nil
+}
+
+// table3 prints the turbo ladders.
+func table3(opt Options) (*Report, error) {
+	cols := []string{"machine"}
+	for i := 1; i <= 20; i++ {
+		cols = append(cols, fmt.Sprintf("%d", i))
+	}
+	sec := Section{Columns: cols}
+	for _, spec := range machine.PaperMachines() {
+		row := []string{spec.Topo.Name()}
+		for i := 1; i <= 20; i++ {
+			if i > spec.Topo.PhysPerSocket() {
+				row = append(row, "-")
+				continue
+			}
+			row = append(row, fmt.Sprintf("%.1f", spec.TurboLimit(i).GHz()))
+		}
+		sec.Rows = append(sec.Rows, row)
+	}
+	return &Report{ID: "table3", Title: "Available turbo frequencies by active cores per socket", Sections: []Section{sec}}, nil
+}
+
+// table4 buckets the full Phoronix population the way Table 4 does.
+func table4(opt Options) (*Report, error) {
+	opt.fill()
+	machines := machinesOrDefault(opt, []string{"6130-2", "6130-4", "5218", "e7-8870"})
+	rep := &Report{ID: "table4", Title: "Phoronix multicore overview (population buckets vs CFS-schedutil)"}
+	cols := []string{"scheduler", "slower >20%", "slower (5,20]%", "same ±5%", "faster (5,20]%", "faster >20%"}
+	tests := workload.PhoronixAll()
+	for _, mach := range machines {
+		sec := Section{Heading: fmt.Sprintf("%s (%d tests)", mach, len(tests)), Columns: cols}
+		for _, cfg := range []config{cfgCFSPerf, cfgNestSched} {
+			var buckets [5]int
+			for _, wl := range tests {
+				base, err := measure(mach, cfgCFSSched, wl, opt)
+				if err != nil {
+					return nil, err
+				}
+				c, err := measure(mach, cfg, wl, opt)
+				if err != nil {
+					return nil, err
+				}
+				s := metrics.Speedup(base.meanTime(), c.meanTime())
+				switch {
+				case s < -0.20:
+					buckets[0]++
+				case s < -0.05:
+					buckets[1]++
+				case s <= 0.05:
+					buckets[2]++
+				case s <= 0.20:
+					buckets[3]++
+				default:
+					buckets[4]++
+				}
+			}
+			row := []string{cfg.String()}
+			for i, b := range buckets {
+				row = append(row, fmt.Sprintf("%d (%d%%)", b, 100*b/len(tests)))
+				_ = i
+			}
+			sec.Rows = append(sec.Rows, row)
+		}
+		rep.Sections = append(rep.Sections, sec)
+	}
+	return rep, nil
+}
+
+// table5 lists the considered Phoronix tests.
+func table5(opt Options) (*Report, error) {
+	sec := Section{Columns: []string{"test", "description"}}
+	for _, n := range workload.PhoronixNamed() {
+		sec.Rows = append(sec.Rows, []string{n, workload.PhoronixDescription(n)})
+	}
+	return &Report{ID: "table5", Title: "Considered Phoronix benchmarks", Sections: []Section{sec}}, nil
+}
+
+// table1 prints the Nest parameters in use.
+func table1(opt Options) (*Report, error) {
+	sec := Section{Columns: []string{"parameter", "description", "value"}}
+	sec.Rows = [][]string{
+		{"P_remove", "delay before removing an idle core from the primary nest", "2 ticks (= 8ms)"},
+		{"R_max", "maximum number of cores in the reserve nest", "5"},
+		{"R_impatient", "successive placement failures tolerated before expanding", "2"},
+		{"S_max", "maximum spin duration", "2 ticks (= 8ms)"},
+	}
+	return &Report{ID: "table1", Title: "Nest parameters", Sections: []Section{sec}}, nil
+}
+
+func init() {
+	registerExperiment(&Experiment{ID: "table1", Title: "Nest parameter values", Run: table1})
+	registerExperiment(&Experiment{ID: "table2", Title: "Hardware characteristics", Run: table2})
+	registerExperiment(&Experiment{ID: "table3", Title: "Turbo frequency ladders", Run: table3})
+	registerExperiment(&Experiment{ID: "table4", Title: "Phoronix population overview", Run: table4})
+	registerExperiment(&Experiment{ID: "table5", Title: "Phoronix test key", Run: table5})
+}

@@ -1,0 +1,186 @@
+// Package freqmodel implements the hardware side of frequency selection:
+// given a governor request and the socket's activity, pick each core's
+// actual frequency.
+//
+// The model captures the three hardware behaviours the paper's results
+// rest on:
+//
+//   - Turbo budget: the cap on a core's frequency falls with the number
+//     of active physical cores on its socket (Table 3). Concentrating
+//     work on few cores — Nest's whole point — raises the cap.
+//   - Ramp: frequency moves toward its target gradually. Speed Shift
+//     parts (Skylake/Cascade Lake/Zen 2) converge within a couple of
+//     ticks; the Broadwell E7-8870 v4's Enhanced SpeedStep takes tens of
+//     milliseconds, which is why short tasks placed on cold cores run
+//     slowly there even under the performance governor.
+//   - Idle decay: an idle, non-spinning core's frequency (and the
+//     frequency a newly placed task initially sees) decays toward the
+//     minimum. Nest's idle spinning keeps the core "active" so neither
+//     the decay nor the governor sag happens.
+package freqmodel
+
+import (
+	"repro/internal/governor"
+	"repro/internal/machine"
+)
+
+// rampRates returns the per-tick fractional approach toward the target
+// frequency (up, down) for a power-management generation.
+func rampRates(r machine.RampClass) (up, down float64) {
+	switch r {
+	case machine.SpeedShift:
+		// Ramps up to ~95% of a step in two ticks; decays more slowly —
+		// an idle core re-enters execution near its previous P-state for
+		// a couple of ticks before falling to the floor.
+		return 0.80, 0.35
+	case machine.SpeedStep:
+		// Reaches ~90% of a step in ~8 ticks (~32 ms).
+		return 0.25, 0.30
+	}
+	return 0.5, 0.5
+}
+
+// Core tracks one hardware thread's frequency state.
+type Core struct {
+	cur        float64 // current frequency, MHz
+	tickSample machine.FreqMHz
+}
+
+// Model owns frequency state for a whole machine.
+type Model struct {
+	spec  *machine.Spec
+	cores []Core
+	up    float64
+	down  float64
+}
+
+// New returns a model with every core parked at the machine minimum.
+func New(spec *machine.Spec) *Model {
+	m := &Model{
+		spec:  spec,
+		cores: make([]Core, spec.Topo.NumCores()),
+	}
+	m.up, m.down = rampRates(spec.Ramp)
+	for i := range m.cores {
+		m.cores[i].cur = float64(spec.Min)
+		// The observable sample starts at nominal: frequency counters
+		// only advance while a core executes, and the last thing these
+		// cores executed was boot-time work at nominal.
+		m.cores[i].tickSample = spec.Nominal
+	}
+	return m
+}
+
+// Cur returns core c's current frequency.
+func (m *Model) Cur(c machine.CoreID) machine.FreqMHz {
+	return machine.FreqMHz(m.cores[c].cur + 0.5)
+}
+
+// Boost applies the hardware's sub-tick reaction to a core becoming
+// active: one partial ramp step toward the granted target, without
+// touching the tick sample. Modern HWP reacts within a few hundred
+// microseconds of activity, well under a tick; Broadwell reacts far more
+// slowly, so short tasks placed on its cold cores stay slow.
+func (m *Model) Boost(c machine.CoreID, req governor.Request, activePhys int, hwUtil float64) machine.FreqMHz {
+	cs := &m.cores[c]
+	target := m.activeTarget(req, activePhys, hwUtil)
+	if target > cs.cur {
+		cs.cur += (target - cs.cur) * m.up * 0.8
+	}
+	return machine.FreqMHz(cs.cur + 0.5)
+}
+
+// hwUtilBias maps the hardware's short-horizon utilisation estimate to a
+// fraction of the turbo budget under an energy-aware preference.
+func hwUtilBias(u float64) float64 {
+	v := 0.60 + 0.50*u
+	if v > 1 {
+		v = 1
+	}
+	return v
+}
+
+// activeTarget computes the frequency the hardware steers a busy core
+// toward.
+//
+// On Speed Shift parts the hardware is autonomous: under the performance
+// preference a busy core is driven at the full turbo budget; under the
+// energy-aware preference (schedutil) the grant follows the hardware's
+// own short-horizon utilisation estimate — a core that is only
+// sporadically busy is run below the budget. This is what separates CFS
+// (low per-core utilisation after dispersal) from Nest (reused, spinning
+// cores look fully busy).
+//
+// On SpeedStep parts the OS suggestion is authoritative, which is why
+// schedutil's sag matters so much more on the E7-8870 v4.
+func (m *Model) activeTarget(req governor.Request, activePhys int, hwUtil float64) float64 {
+	limit := m.spec.TurboLimit(activePhys)
+	sug := req.Suggestion
+	if m.spec.Ramp == machine.SpeedShift {
+		if req.EnergyAware {
+			hw := machine.FreqMHz(hwUtilBias(hwUtil) * float64(limit))
+			if hw > sug {
+				sug = hw
+			}
+		} else {
+			sug = limit
+		}
+	}
+	if sug < req.Floor {
+		sug = req.Floor
+	}
+	if sug > limit {
+		sug = limit
+	}
+	return float64(sug)
+}
+
+// TickSample returns the frequency recorded at the last tick boundary.
+// This is what tick-based observers (Smove, §2.2) see; it lags reality,
+// which is precisely why Smove under-triggers on Speed Shift machines.
+func (m *Model) TickSample(c machine.CoreID) machine.FreqMHz {
+	return m.cores[c].tickSample
+}
+
+// TurboLimit returns the cap for a core on a socket with the given number
+// of active physical cores.
+func (m *Model) TurboLimit(activePhys int) machine.FreqMHz {
+	return m.spec.TurboLimit(activePhys)
+}
+
+// TickUpdate advances core c by one tick. active reports whether the core
+// is running a task or idle-spinning; util is the core's PELT
+// utilisation; req is the governor's request; activePhys is the number of
+// active physical cores on c's socket (including c's own, if active).
+//
+// It returns the new current frequency.
+func (m *Model) TickUpdate(c machine.CoreID, active bool, req governor.Request, activePhys int, hwUtil float64) machine.FreqMHz {
+	cs := &m.cores[c]
+	// The observable frequency (aperf/mperf) only advances while the core
+	// executes; an idle core's sample stays frozen at its last active
+	// value. This is Smove's blind spot (§5.2): a just-idled core still
+	// "reads" fast at the next tick.
+	if active {
+		cs.tickSample = machine.FreqMHz(cs.cur + 0.5)
+	}
+
+	var target float64
+	if active {
+		target = m.activeTarget(req, activePhys, hwUtil)
+	} else {
+		// Idle: clock decays toward the governor floor (performance
+		// keeps idle cores parked at nominal; schedutil lets them fall
+		// to the machine minimum).
+		target = float64(req.Floor)
+	}
+
+	if target > cs.cur {
+		cs.cur += (target - cs.cur) * m.up
+	} else {
+		cs.cur += (target - cs.cur) * m.down
+	}
+	return machine.FreqMHz(cs.cur + 0.5)
+}
+
+// Spec returns the machine spec the model was built for.
+func (m *Model) Spec() *machine.Spec { return m.spec }

@@ -1,0 +1,174 @@
+package freqmodel
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/governor"
+	"repro/internal/machine"
+)
+
+func perfReq(spec *machine.Spec) governor.Request {
+	return governor.Performance{}.Request(spec, 1, true)
+}
+
+func schedReq(spec *machine.Spec, util float64) governor.Request {
+	return governor.Schedutil{}.Request(spec, util, true)
+}
+
+func TestStartsAtMin(t *testing.T) {
+	spec := machine.IntelXeon5218()
+	m := New(spec)
+	for c := 0; c < spec.Topo.NumCores(); c++ {
+		if got := m.Cur(machine.CoreID(c)); got != spec.Min {
+			t.Fatalf("core %d starts at %v, want %v", c, got, spec.Min)
+		}
+	}
+}
+
+func TestSpeedShiftRampsFast(t *testing.T) {
+	spec := machine.IntelXeon5218() // Speed Shift
+	m := New(spec)
+	req := schedReq(spec, 1)
+	var f machine.FreqMHz
+	for i := 0; i < 3; i++ {
+		f = m.TickUpdate(0, true, req, 1, 1.0)
+	}
+	// Within 3 ticks (12ms) a Cascade Lake core should be near max turbo.
+	if f < spec.MaxTurbo()*95/100 {
+		t.Fatalf("after 3 ticks, freq = %v, want ≥95%% of %v", f, spec.MaxTurbo())
+	}
+}
+
+func TestSpeedStepRampsSlow(t *testing.T) {
+	spec := machine.IntelE78870v4() // Enhanced SpeedStep
+	m := New(spec)
+	req := schedReq(spec, 1)
+	f := m.TickUpdate(0, true, req, 1, 1.0)
+	f = m.TickUpdate(0, true, req, 1, 1.0)
+	// After 2 ticks a Broadwell core must still be well below max turbo —
+	// this is why short tasks on cold cores run slowly there.
+	if f > spec.MaxTurbo()*70/100 {
+		t.Fatalf("Broadwell ramped too fast: %v after 2 ticks (max %v)", f, spec.MaxTurbo())
+	}
+	for i := 0; i < 30; i++ {
+		f = m.TickUpdate(0, true, req, 1, 1.0)
+	}
+	if f < spec.MaxTurbo()*95/100 {
+		t.Fatalf("Broadwell never converged: %v, want ~%v", f, spec.MaxTurbo())
+	}
+}
+
+func TestTurboBudgetCapsFrequency(t *testing.T) {
+	spec := machine.IntelXeon6130(2)
+	m := New(spec)
+	req := perfReq(spec)
+	// With all 16 physical cores active the cap is 2.8 GHz.
+	var f machine.FreqMHz
+	for i := 0; i < 20; i++ {
+		f = m.TickUpdate(0, true, req, 16, 1.0)
+	}
+	want := spec.TurboLimit(16)
+	if f < want-10 || f > want+10 {
+		t.Fatalf("fully active socket freq = %v, want ~%v", f, want)
+	}
+	// Dropping to one active core lets it climb to max turbo.
+	for i := 0; i < 20; i++ {
+		f = m.TickUpdate(0, true, req, 1, 1.0)
+	}
+	if f < spec.MaxTurbo()-10 {
+		t.Fatalf("single active core stuck at %v, want ~%v", f, spec.MaxTurbo())
+	}
+}
+
+func TestIdleDecaySchedutil(t *testing.T) {
+	spec := machine.IntelXeon5218()
+	m := New(spec)
+	req := schedReq(spec, 1)
+	for i := 0; i < 10; i++ {
+		m.TickUpdate(3, true, req, 1, 1.0)
+	}
+	hot := m.Cur(3)
+	idleReq := governor.Schedutil{}.Request(spec, 0, false)
+	for i := 0; i < 30; i++ {
+		m.TickUpdate(3, false, idleReq, 0, 1.0)
+	}
+	cold := m.Cur(3)
+	if cold >= hot {
+		t.Fatalf("idle core did not decay: %v -> %v", hot, cold)
+	}
+	if cold > spec.Min+50 {
+		t.Fatalf("idle core settled at %v, want ~min %v", cold, spec.Min)
+	}
+}
+
+func TestIdleUnderPerformanceStaysAtNominal(t *testing.T) {
+	spec := machine.IntelXeon6130(2)
+	m := New(spec)
+	req := perfReq(spec)
+	for i := 0; i < 10; i++ {
+		m.TickUpdate(0, true, req, 1, 1.0)
+	}
+	idleReq := governor.Performance{}.Request(spec, 0, false)
+	for i := 0; i < 50; i++ {
+		m.TickUpdate(0, false, idleReq, 0, 1.0)
+	}
+	f := m.Cur(0)
+	if f < spec.Nominal-50 {
+		t.Fatalf("idle core under performance fell to %v, below nominal %v", f, spec.Nominal)
+	}
+}
+
+func TestTickSampleLags(t *testing.T) {
+	// The sample returned for Smove is the value *before* this tick's
+	// update: a core that just started ramping still reports its old,
+	// high (or low) frequency for one tick.
+	spec := machine.IntelXeon5218()
+	m := New(spec)
+	req := schedReq(spec, 1)
+	m.TickUpdate(0, true, req, 1, 1.0)
+	cur := m.Cur(0)
+	sample := m.TickSample(0)
+	if sample >= cur {
+		t.Fatalf("tick sample %v does not lag current %v", sample, cur)
+	}
+}
+
+func TestFrequencyAlwaysInEnvelope(t *testing.T) {
+	specs := machine.PaperMachines()
+	f := func(seed uint64, steps uint8, which uint8) bool {
+		spec := specs[int(which)%len(specs)]
+		m := New(spec)
+		r := newTestRand(seed)
+		for i := 0; i < int(steps); i++ {
+			active := r()%2 == 0
+			util := float64(r()%1000) / 1000
+			var req governor.Request
+			if r()%2 == 0 {
+				req = governor.Performance{}.Request(spec, util, active)
+			} else {
+				req = governor.Schedutil{}.Request(spec, util, active)
+			}
+			n := int(r()%uint64(spec.Topo.PhysPerSocket())) + 1
+			got := m.TickUpdate(0, active, req, n, 1.0)
+			if got < spec.Min-1 || got > spec.MaxTurbo()+1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// newTestRand returns a tiny deterministic generator for property tests.
+func newTestRand(seed uint64) func() uint64 {
+	s := seed*2862933555777941757 + 3037000493
+	return func() uint64 {
+		s ^= s << 13
+		s ^= s >> 7
+		s ^= s << 17
+		return s
+	}
+}

@@ -1,0 +1,88 @@
+// Package governor implements the two Linux power governors the paper
+// evaluates (§2.3).
+//
+// A governor does not set frequencies. It gives the hardware a floor, a
+// ceiling and (for schedutil) a suggestion; the hardware combines these
+// with the socket's turbo budget and the core's activity to pick the
+// actual frequency (see internal/freqmodel).
+package governor
+
+import (
+	"fmt"
+
+	"repro/internal/machine"
+)
+
+// Request is what a governor hands the hardware for one core.
+type Request struct {
+	Floor      machine.FreqMHz // lowest frequency acceptable while active
+	Ceiling    machine.FreqMHz // highest frequency allowed
+	Suggestion machine.FreqMHz // the frequency the governor would like (within [Floor, Ceiling])
+	// EnergyAware is the energy-performance preference: schedutil asks
+	// the hardware to weigh efficiency (it may run low-utilisation cores
+	// slowly); performance does not.
+	EnergyAware bool
+}
+
+// Governor computes per-core frequency requests from scheduler activity.
+type Governor interface {
+	// Name returns the sysfs-style governor name.
+	Name() string
+	// Request returns the governor's request for a core with the given
+	// PELT utilisation. active reports whether the core currently has a
+	// task (or is idle-spinning, which the hardware cannot distinguish
+	// from real activity — the mechanism Nest's warming relies on).
+	Request(spec *machine.Spec, util float64, active bool) Request
+}
+
+// Performance requests that the hardware use at least the nominal
+// frequency; the hardware remains free to pick any turbo frequency above
+// it. It gives tasks high performance but forgoes the energy savings of
+// running undemanding tasks slowly.
+type Performance struct{}
+
+// Name implements Governor.
+func (Performance) Name() string { return "performance" }
+
+// Request implements Governor.
+func (Performance) Request(spec *machine.Spec, util float64, active bool) Request {
+	return Request{
+		Floor:      spec.Nominal,
+		Ceiling:    spec.MaxTurbo(),
+		Suggestion: spec.MaxTurbo(),
+	}
+}
+
+// Schedutil follows scheduler utilisation: it allows the full frequency
+// range and suggests a frequency proportional to recent utilisation with
+// the kernel's 25% headroom factor. Cores whose tasks pause see their
+// suggestion sag — the behaviour Nest's idle spinning fights.
+type Schedutil struct{}
+
+// Name implements Governor.
+func (Schedutil) Name() string { return "schedutil" }
+
+// Request implements Governor.
+func (Schedutil) Request(spec *machine.Spec, util float64, active bool) Request {
+	maxT := spec.MaxTurbo()
+	// next_freq = 1.25 * max_freq * util, as in the kernel.
+	sug := machine.FreqMHz(1.25 * util * float64(maxT))
+	if sug > maxT {
+		sug = maxT
+	}
+	if sug < spec.Min {
+		sug = spec.Min
+	}
+	return Request{Floor: spec.Min, Ceiling: maxT, Suggestion: sug, EnergyAware: true}
+}
+
+// ByName resolves "performance" or "schedutil".
+func ByName(name string) (Governor, error) {
+	switch name {
+	case "performance", "perf":
+		return Performance{}, nil
+	case "schedutil", "sched":
+		return Schedutil{}, nil
+	}
+	return nil, fmt.Errorf("governor: unknown governor %q", name)
+}

@@ -1,0 +1,70 @@
+package governor
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/machine"
+)
+
+func TestPerformanceFloorsAtNominal(t *testing.T) {
+	spec := machine.IntelXeon6130(2)
+	for _, util := range []float64{0, 0.3, 1} {
+		req := Performance{}.Request(spec, util, true)
+		if req.Floor != spec.Nominal {
+			t.Fatalf("floor = %v, want nominal %v", req.Floor, spec.Nominal)
+		}
+		if req.Suggestion != spec.MaxTurbo() {
+			t.Fatalf("suggestion = %v, want max turbo", req.Suggestion)
+		}
+	}
+}
+
+func TestSchedutilTracksUtil(t *testing.T) {
+	spec := machine.IntelXeon5218()
+	low := Schedutil{}.Request(spec, 0.1, true)
+	high := Schedutil{}.Request(spec, 0.95, true)
+	if low.Suggestion >= high.Suggestion {
+		t.Fatalf("schedutil not monotone: %v (util 0.1) >= %v (util 0.95)", low.Suggestion, high.Suggestion)
+	}
+	if high.Suggestion != spec.MaxTurbo() {
+		t.Fatalf("high-util suggestion = %v, want max turbo (headroom factor)", high.Suggestion)
+	}
+	if low.Floor != spec.Min {
+		t.Fatalf("schedutil floor = %v, want machine min %v", low.Floor, spec.Min)
+	}
+}
+
+func TestSchedutilBoundsProperty(t *testing.T) {
+	specs := machine.PaperMachines()
+	f := func(u uint16, which uint8) bool {
+		spec := specs[int(which)%len(specs)]
+		util := float64(u) / 65535
+		req := Schedutil{}.Request(spec, util, true)
+		return req.Suggestion >= spec.Min && req.Suggestion <= spec.MaxTurbo() &&
+			req.Floor <= req.Suggestion && req.Suggestion <= req.Ceiling
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestByName(t *testing.T) {
+	for name, want := range map[string]string{
+		"performance": "performance",
+		"perf":        "performance",
+		"schedutil":   "schedutil",
+		"sched":       "schedutil",
+	} {
+		g, err := ByName(name)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", name, err)
+		}
+		if g.Name() != want {
+			t.Fatalf("ByName(%q).Name() = %q, want %q", name, g.Name(), want)
+		}
+	}
+	if _, err := ByName("ondemand"); err == nil {
+		t.Fatal("ByName(ondemand) succeeded; only paper governors are modelled")
+	}
+}

@@ -1,0 +1,207 @@
+package machine
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTopologyCounts(t *testing.T) {
+	tests := []struct {
+		spec    *Spec
+		cores   int
+		sockets int
+		phys    int
+	}{
+		{IntelE78870v4(), 160, 4, 80},
+		{IntelXeon6130(2), 64, 2, 32},
+		{IntelXeon6130(4), 128, 4, 64},
+		{IntelXeon5218(), 64, 2, 32},
+		{IntelXeon5220(), 36, 1, 18},
+		{AMDRyzen4650G(), 12, 1, 6},
+	}
+	for _, tt := range tests {
+		topo := tt.spec.Topo
+		if topo.NumCores() != tt.cores {
+			t.Errorf("%s: NumCores = %d, want %d", topo.Name(), topo.NumCores(), tt.cores)
+		}
+		if topo.NumSockets() != tt.sockets {
+			t.Errorf("%s: NumSockets = %d, want %d", topo.Name(), topo.NumSockets(), tt.sockets)
+		}
+		if topo.NumPhysical() != tt.phys {
+			t.Errorf("%s: NumPhysical = %d, want %d", topo.Name(), topo.NumPhysical(), tt.phys)
+		}
+	}
+}
+
+func TestSiblingInvolution(t *testing.T) {
+	topo := IntelXeon6130(4).Topo
+	for id := 0; id < topo.NumCores(); id++ {
+		c := CoreID(id)
+		sib := topo.Sibling(c)
+		if sib == c {
+			t.Fatalf("core %d is its own sibling on an SMT2 machine", id)
+		}
+		if topo.Sibling(sib) != c {
+			t.Fatalf("sibling not involutive: %d -> %d -> %d", c, sib, topo.Sibling(sib))
+		}
+		if topo.Core(c).Physical != topo.Core(sib).Physical {
+			t.Fatalf("siblings %d/%d on different physical cores", c, sib)
+		}
+		if topo.Socket(c) != topo.Socket(sib) {
+			t.Fatalf("siblings %d/%d on different sockets", c, sib)
+		}
+	}
+}
+
+func TestNoSMTSibling(t *testing.T) {
+	topo := New("test", 1, 4, 1)
+	for id := 0; id < 4; id++ {
+		if topo.Sibling(CoreID(id)) != CoreID(id) {
+			t.Fatalf("SMT1 core %d has sibling %d", id, topo.Sibling(CoreID(id)))
+		}
+	}
+}
+
+func TestSocketCoresPartition(t *testing.T) {
+	for _, spec := range PaperMachines() {
+		topo := spec.Topo
+		seen := make(map[CoreID]bool)
+		for s := 0; s < topo.NumSockets(); s++ {
+			for _, c := range topo.SocketCores(s) {
+				if seen[c] {
+					t.Fatalf("%s: core %d in two sockets", topo.Name(), c)
+				}
+				seen[c] = true
+				if topo.Socket(c) != s {
+					t.Fatalf("%s: core %d listed in socket %d but Socket()=%d", topo.Name(), c, s, topo.Socket(c))
+				}
+			}
+		}
+		if len(seen) != topo.NumCores() {
+			t.Fatalf("%s: sockets cover %d cores, want %d", topo.Name(), len(seen), topo.NumCores())
+		}
+	}
+}
+
+func TestSocketOrderStartsHome(t *testing.T) {
+	topo := IntelXeon6130(4).Topo
+	f := func(raw uint16) bool {
+		c := CoreID(int(raw) % topo.NumCores())
+		order := topo.SocketOrder(c)
+		if len(order) != topo.NumSockets() || order[0] != topo.Socket(c) {
+			return false
+		}
+		seen := make(map[int]bool)
+		for _, s := range order {
+			if seen[s] {
+				return false
+			}
+			seen[s] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScanFromWrapsWholeSocket(t *testing.T) {
+	topo := IntelXeon5218().Topo
+	f := func(raw uint16, sraw uint8) bool {
+		from := CoreID(int(raw) % topo.NumCores())
+		s := int(sraw) % topo.NumSockets()
+		scan := topo.ScanFrom(s, from)
+		if len(scan) != len(topo.SocketCores(s)) {
+			return false
+		}
+		seen := make(map[CoreID]bool)
+		for _, c := range scan {
+			if topo.Socket(c) != s || seen[c] {
+				return false
+			}
+			seen[c] = true
+		}
+		// If from is on socket s, the scan must start there.
+		if topo.Socket(from) == s && scan[0] != from {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTurboLadders(t *testing.T) {
+	// Spot-check Table 3 values.
+	e7 := IntelE78870v4()
+	for _, tc := range []struct {
+		active int
+		want   FreqMHz
+	}{{1, 3000}, {2, 3000}, {3, 2800}, {4, 2700}, {5, 2600}, {12, 2600}, {20, 2600}, {25, 2600}} {
+		if got := e7.TurboLimit(tc.active); got != tc.want {
+			t.Errorf("E7-8870 TurboLimit(%d) = %v, want %v", tc.active, got, tc.want)
+		}
+	}
+	g6130 := IntelXeon6130(2)
+	for _, tc := range []struct {
+		active int
+		want   FreqMHz
+	}{{1, 3700}, {2, 3700}, {3, 3500}, {4, 3500}, {5, 3400}, {8, 3400}, {9, 3100}, {12, 3100}, {13, 2800}, {16, 2800}} {
+		if got := g6130.TurboLimit(tc.active); got != tc.want {
+			t.Errorf("6130 TurboLimit(%d) = %v, want %v", tc.active, got, tc.want)
+		}
+	}
+	g5218 := IntelXeon5218()
+	for _, tc := range []struct {
+		active int
+		want   FreqMHz
+	}{{1, 3900}, {3, 3700}, {5, 3600}, {9, 3100}, {16, 2800}} {
+		if got := g5218.TurboLimit(tc.active); got != tc.want {
+			t.Errorf("5218 TurboLimit(%d) = %v, want %v", tc.active, got, tc.want)
+		}
+	}
+}
+
+func TestTurboMonotoneNonIncreasing(t *testing.T) {
+	for _, spec := range PaperMachines() {
+		prev := spec.TurboLimit(1)
+		for n := 2; n <= spec.Topo.PhysPerSocket()+4; n++ {
+			cur := spec.TurboLimit(n)
+			if cur > prev {
+				t.Fatalf("%s: turbo ladder increases at %d cores (%v > %v)", spec.Topo.Name(), n, cur, prev)
+			}
+			if cur < spec.Nominal {
+				t.Fatalf("%s: turbo %v below nominal %v at %d active", spec.Topo.Name(), cur, spec.Nominal, n)
+			}
+			prev = cur
+		}
+	}
+}
+
+func TestPresetRoundTrip(t *testing.T) {
+	for _, name := range PresetNames() {
+		spec, err := Preset(name)
+		if err != nil {
+			t.Fatalf("Preset(%q): %v", name, err)
+		}
+		if spec.Topo.NumCores() == 0 {
+			t.Fatalf("Preset(%q): empty topology", name)
+		}
+		if spec.Min >= spec.MaxTurbo() {
+			t.Fatalf("Preset(%q): min %v >= max turbo %v", name, spec.Min, spec.MaxTurbo())
+		}
+	}
+	if _, err := Preset("bogus"); err == nil {
+		t.Fatal("Preset(bogus) succeeded")
+	}
+}
+
+func TestFreqString(t *testing.T) {
+	if got := FreqMHz(3700).String(); got != "3.7GHz" {
+		t.Fatalf("String = %q", got)
+	}
+	if FreqMHz(2100).GHz() != 2.1 {
+		t.Fatal("GHz conversion wrong")
+	}
+}

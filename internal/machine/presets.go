@@ -1,0 +1,215 @@
+package machine
+
+import "fmt"
+
+// FreqMHz is a core frequency in megahertz.
+type FreqMHz int
+
+// GHz converts to gigahertz.
+func (f FreqMHz) GHz() float64 { return float64(f) / 1000 }
+
+// String renders the frequency as GHz with one decimal.
+func (f FreqMHz) String() string { return fmt.Sprintf("%.1fGHz", f.GHz()) }
+
+// RampClass captures how quickly a generation's power management moves
+// core frequencies, per the paper's observations: Speed Shift machines
+// (Skylake/Cascade Lake and the AMD box) react within a tick or two,
+// while the Broadwell E7-8870 v4's Enhanced SpeedStep "does not react
+// quickly enough to the change of core activity" and is "prone to using
+// subturbo frequencies whenever there are gaps in the computation".
+type RampClass int
+
+const (
+	// SpeedShift is hardware-controlled P-states (fast ramp).
+	SpeedShift RampClass = iota
+	// SpeedStep is the older, OS-visible, slow-ramping management.
+	SpeedStep
+)
+
+// String returns the marketing name of the power-management class.
+func (r RampClass) String() string {
+	if r == SpeedStep {
+		return "Enhanced Intel SpeedStep"
+	}
+	return "Intel Speed Shift"
+}
+
+// Spec bundles everything the simulator needs to know about a machine:
+// topology, the frequency envelope from Table 2, the turbo ladder from
+// Table 3, and the power-management generation.
+type Spec struct {
+	Topo    *Topology
+	Arch    string // microarchitecture name
+	Min     FreqMHz
+	Nominal FreqMHz   // "max freq" in Table 2: the non-turbo ceiling
+	Turbo   []FreqMHz // Table 3 ladder: Turbo[i] is the cap with i+1 active physical cores on a socket; the last entry covers all larger counts
+	Ramp    RampClass
+
+	// Power model parameters (Watts). See internal/energy for the model.
+	IdleSocketW float64 // socket power with everything idle (uncore + RAM availability)
+	ActiveBaseW float64 // per-active-core fixed cost
+	DynPerGHzW  float64 // per-active-core dynamic cost per (GHz)^2... scaled in energy pkg
+	UncoreFreqW float64 // socket-level cost that follows the highest active frequency
+}
+
+// TurboLimit returns the frequency cap for a socket with the given number
+// of active physical cores (0 active returns the single-core cap, which
+// is what a core ramping up from idle can hope for).
+func (s *Spec) TurboLimit(activePhysical int) FreqMHz {
+	if len(s.Turbo) == 0 {
+		return s.Nominal
+	}
+	if activePhysical <= 1 {
+		return s.Turbo[0]
+	}
+	if activePhysical > len(s.Turbo) {
+		return s.Turbo[len(s.Turbo)-1]
+	}
+	return s.Turbo[activePhysical-1]
+}
+
+// MaxTurbo returns the highest turbo frequency (single active core).
+func (s *Spec) MaxTurbo() FreqMHz {
+	if len(s.Turbo) == 0 {
+		return s.Nominal
+	}
+	return s.Turbo[0]
+}
+
+// ladder expands Table 3's per-range entries into a per-count slice.
+func ladder(pairs ...struct {
+	upTo int
+	f    FreqMHz
+}) []FreqMHz {
+	var out []FreqMHz
+	for _, p := range pairs {
+		for len(out) < p.upTo {
+			out = append(out, p.f)
+		}
+	}
+	return out
+}
+
+func l(upTo int, f FreqMHz) struct {
+	upTo int
+	f    FreqMHz
+} {
+	return struct {
+		upTo int
+		f    FreqMHz
+	}{upTo, f}
+}
+
+// The paper's four evaluation servers (Table 2/3) and the two §5.6
+// mono-socket machines.
+
+// IntelE78870v4 returns the 4-socket 160-core Broadwell Xeon E7-8870 v4.
+func IntelE78870v4() *Spec {
+	return &Spec{
+		Topo:    New("Intel Xeon E7-8870 v4", 4, 20, 2),
+		Arch:    "Broadwell",
+		Min:     1200,
+		Nominal: 2100,
+		// Table 3: 1-2 cores 3.0, 3 cores 2.8, 4 cores 2.7, 5+ cores 2.6.
+		Turbo:       ladder(l(2, 3000), l(3, 2800), l(4, 2700), l(20, 2600)),
+		Ramp:        SpeedStep,
+		IdleSocketW: 52, ActiveBaseW: 1.5, DynPerGHzW: 1.1, UncoreFreqW: 2.4,
+	}
+}
+
+// IntelXeon6130 returns a Skylake Gold 6130 with the given socket count
+// (2 or 4 in the paper).
+func IntelXeon6130(sockets int) *Spec {
+	name := fmt.Sprintf("Intel Xeon Gold 6130 (%d-socket)", sockets)
+	return &Spec{
+		Topo:    New(name, sockets, 16, 2),
+		Arch:    "Skylake",
+		Min:     1000,
+		Nominal: 2100,
+		// Table 3: 1-2 cores 3.7, 3-4 cores 3.5, 5-8 cores 3.4,
+		// 9-12 cores 3.1, 13-16 cores 2.8.
+		Turbo:       ladder(l(2, 3700), l(4, 3500), l(8, 3400), l(12, 3100), l(16, 2800)),
+		Ramp:        SpeedShift,
+		IdleSocketW: 38, ActiveBaseW: 1.4, DynPerGHzW: 0.9, UncoreFreqW: 2.0,
+	}
+}
+
+// IntelXeon5218 returns the 2-socket 64-core Cascade Lake Gold 5218.
+func IntelXeon5218() *Spec {
+	return &Spec{
+		Topo:    New("Intel Xeon Gold 5218", 2, 16, 2),
+		Arch:    "Cascade Lake",
+		Min:     1000,
+		Nominal: 2300,
+		// Table 3: 1-2 cores 3.9, 3-4 cores 3.7, 5-8 cores 3.6,
+		// 9-12 cores 3.1, 13-16 cores 2.8.
+		Turbo:       ladder(l(2, 3900), l(4, 3700), l(8, 3600), l(12, 3100), l(16, 2800)),
+		Ramp:        SpeedShift,
+		IdleSocketW: 36, ActiveBaseW: 1.3, DynPerGHzW: 0.9, UncoreFreqW: 2.0,
+	}
+}
+
+// IntelXeon5220 returns the §5.6 single-socket 36-core Cascade Lake 5220.
+func IntelXeon5220() *Spec {
+	return &Spec{
+		Topo:        New("Intel Xeon Gold 5220", 1, 18, 2),
+		Arch:        "Cascade Lake",
+		Min:         1000,
+		Nominal:     2200,
+		Turbo:       ladder(l(2, 3900), l(4, 3700), l(8, 3500), l(12, 3100), l(18, 2700)),
+		Ramp:        SpeedShift,
+		IdleSocketW: 34, ActiveBaseW: 1.3, DynPerGHzW: 0.9, UncoreFreqW: 2.0,
+	}
+}
+
+// AMDRyzen4650G returns the §5.6 single-socket 12-core AMD Ryzen 5 PRO
+// 4650G desktop part. Its boost behaviour is aggressive but, as a desktop
+// part under the paper's measurements, schedutil leaves much more room
+// under CFS, which is why Nest's speedups there are the largest.
+func AMDRyzen4650G() *Spec {
+	return &Spec{
+		Topo:        New("AMD Ryzen 5 PRO 4650G", 1, 6, 2),
+		Arch:        "Zen 2",
+		Min:         1400,
+		Nominal:     3700,
+		Turbo:       ladder(l(1, 4200), l(2, 4150), l(4, 4000), l(6, 3900)),
+		Ramp:        SpeedShift,
+		IdleSocketW: 15, ActiveBaseW: 1.0, DynPerGHzW: 0.9, UncoreFreqW: 1.2,
+	}
+}
+
+// Preset looks a machine up by the short names used throughout the
+// experiment harness.
+func Preset(name string) (*Spec, error) {
+	switch name {
+	case "6130-2", "64-core Intel 6130":
+		return IntelXeon6130(2), nil
+	case "6130-4", "128-core Intel 6130":
+		return IntelXeon6130(4), nil
+	case "5218", "64-core Intel 5218":
+		return IntelXeon5218(), nil
+	case "e7-8870", "160-core Intel E7-8870 v4":
+		return IntelE78870v4(), nil
+	case "5220":
+		return IntelXeon5220(), nil
+	case "4650g":
+		return AMDRyzen4650G(), nil
+	}
+	return nil, fmt.Errorf("machine: unknown preset %q", name)
+}
+
+// PaperMachines returns the four evaluation servers in the order the
+// paper's figures present them.
+func PaperMachines() []*Spec {
+	return []*Spec{
+		IntelXeon6130(2),
+		IntelXeon6130(4),
+		IntelXeon5218(),
+		IntelE78870v4(),
+	}
+}
+
+// PresetNames returns the short names accepted by Preset.
+func PresetNames() []string {
+	return []string{"6130-2", "6130-4", "5218", "e7-8870", "5220", "4650g"}
+}

@@ -1,0 +1,104 @@
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/sim"
+)
+
+// Slice is one contiguous execution of a task on a core.
+type Slice struct {
+	Task  string
+	TID   int
+	Core  int
+	Start sim.Time
+	End   sim.Time
+	// FreqMHz is the core frequency when the slice ended (a cheap
+	// summary; frequency can move within a slice).
+	FreqMHz int
+}
+
+// Timeline records execution slices for export to the Chrome trace-event
+// format, viewable in Perfetto or chrome://tracing. A nil *Timeline is a
+// disabled recorder.
+type Timeline struct {
+	Slices []Slice
+	// Limit caps recorded slices to bound memory (0 = unlimited).
+	Limit   int
+	dropped int
+}
+
+// NewTimeline returns a recorder capped at limit slices (0 = unlimited).
+func NewTimeline(limit int) *Timeline {
+	return &Timeline{Limit: limit}
+}
+
+// Add records one slice. Nil-safe.
+func (tl *Timeline) Add(s Slice) {
+	if tl == nil {
+		return
+	}
+	if tl.Limit > 0 && len(tl.Slices) >= tl.Limit {
+		tl.dropped++
+		return
+	}
+	tl.Slices = append(tl.Slices, s)
+}
+
+// Dropped reports how many slices were discarded due to the cap.
+func (tl *Timeline) Dropped() int {
+	if tl == nil {
+		return 0
+	}
+	return tl.dropped
+}
+
+// chromeEvent is one entry of the trace-event JSON array format.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`  // microseconds
+	Dur  float64        `json:"dur"` // microseconds
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// WriteChromeTrace emits the timeline in the Chrome trace-event "X"
+// (complete event) format: one row per core (tid = core), slices named
+// by task. Open the file in Perfetto (ui.perfetto.dev) or
+// chrome://tracing.
+func (tl *Timeline) WriteChromeTrace(w io.Writer) error {
+	events := make([]chromeEvent, 0, len(tl.Slices)+1)
+	for _, s := range tl.Slices {
+		events = append(events, chromeEvent{
+			Name: s.Task,
+			Ph:   "X",
+			TS:   float64(s.Start) / 1e3,
+			Dur:  float64(s.End-s.Start) / 1e3,
+			PID:  0,
+			TID:  s.Core,
+			Args: map[string]any{
+				"task_id":  s.TID,
+				"freq_mhz": s.FreqMHz,
+			},
+		})
+	}
+	// Name the "threads" (cores) for the viewer.
+	seen := map[int]bool{}
+	meta := make([]chromeEvent, 0)
+	for _, s := range tl.Slices {
+		if seen[s.Core] {
+			continue
+		}
+		seen[s.Core] = true
+		meta = append(meta, chromeEvent{
+			Name: "thread_name", Ph: "M", PID: 0, TID: s.Core,
+			Args: map[string]any{"name": fmt.Sprintf("core %d", s.Core)},
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(append(meta, events...))
+}

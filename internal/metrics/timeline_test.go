@@ -1,0 +1,57 @@
+package metrics
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestTimelineCap(t *testing.T) {
+	tl := NewTimeline(2)
+	for i := 0; i < 5; i++ {
+		tl.Add(Slice{Task: "t", Start: sim.Time(i), End: sim.Time(i + 1)})
+	}
+	if len(tl.Slices) != 2 || tl.Dropped() != 3 {
+		t.Fatalf("slices=%d dropped=%d", len(tl.Slices), tl.Dropped())
+	}
+}
+
+func TestTimelineNilSafe(t *testing.T) {
+	var tl *Timeline
+	tl.Add(Slice{})
+	if tl.Dropped() != 0 {
+		t.Fatal("nil timeline not inert")
+	}
+}
+
+func TestWriteChromeTrace(t *testing.T) {
+	tl := NewTimeline(0)
+	tl.Add(Slice{Task: "worker", TID: 3, Core: 1, Start: 0, End: 2 * sim.Millisecond, FreqMHz: 3400})
+	tl.Add(Slice{Task: "worker", TID: 3, Core: 2, Start: 3 * sim.Millisecond, End: 5 * sim.Millisecond, FreqMHz: 2800})
+	var b strings.Builder
+	if err := tl.WriteChromeTrace(&b); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal([]byte(b.String()), &events); err != nil {
+		t.Fatalf("not valid trace JSON: %v", err)
+	}
+	// 2 metadata (core names) + 2 slices.
+	if len(events) != 4 {
+		t.Fatalf("events = %d", len(events))
+	}
+	var sliceSeen bool
+	for _, e := range events {
+		if e["ph"] == "X" {
+			sliceSeen = true
+			if e["dur"].(float64) != 2000 { // 2ms in µs
+				t.Fatalf("dur = %v", e["dur"])
+			}
+		}
+	}
+	if !sliceSeen {
+		t.Fatal("no complete events emitted")
+	}
+}

@@ -1,0 +1,97 @@
+package metrics
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+
+	"repro/internal/sim"
+)
+
+// TickSample is one per-tick snapshot of machine-wide state.
+type TickSample struct {
+	Time        sim.Time
+	Runnable    int     // tasks running or queued
+	BusyCores   int     // cores executing a task
+	SpinCores   int     // cores idle-spinning
+	MeanBusyMHz float64 // mean frequency over busy cores (0 if none)
+	PowerW      float64 // instantaneous whole-machine power
+}
+
+// TimeSeries collects TickSamples when attached to a run. A nil
+// *TimeSeries is a disabled sampler.
+type TimeSeries struct {
+	Samples []TickSample
+	// Every controls decimation: only every N-th tick is kept (1 = all).
+	Every int
+	count int
+}
+
+// NewTimeSeries returns a sampler keeping every n-th tick.
+func NewTimeSeries(every int) *TimeSeries {
+	if every < 1 {
+		every = 1
+	}
+	return &TimeSeries{Every: every}
+}
+
+// Add records a sample, honouring decimation. Nil-safe.
+func (ts *TimeSeries) Add(s TickSample) {
+	if ts == nil {
+		return
+	}
+	ts.count++
+	if (ts.count-1)%ts.Every != 0 {
+		return
+	}
+	ts.Samples = append(ts.Samples, s)
+}
+
+// WriteCSV emits the series with a header row.
+func (ts *TimeSeries) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"time_s", "runnable", "busy_cores", "spin_cores", "mean_busy_mhz", "power_w"}); err != nil {
+		return err
+	}
+	for _, s := range ts.Samples {
+		rec := []string{
+			fmt.Sprintf("%.6f", s.Time.Seconds()),
+			fmt.Sprintf("%d", s.Runnable),
+			fmt.Sprintf("%d", s.BusyCores),
+			fmt.Sprintf("%d", s.SpinCores),
+			fmt.Sprintf("%.0f", s.MeanBusyMHz),
+			fmt.Sprintf("%.1f", s.PowerW),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// MaxRunnable returns the peak concurrent runnable count observed.
+func (ts *TimeSeries) MaxRunnable() int {
+	if ts == nil {
+		return 0
+	}
+	peak := 0
+	for _, s := range ts.Samples {
+		if s.Runnable > peak {
+			peak = s.Runnable
+		}
+	}
+	return peak
+}
+
+// MeanPower returns the time-average power over the series.
+func (ts *TimeSeries) MeanPower() float64 {
+	if ts == nil || len(ts.Samples) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, s := range ts.Samples {
+		sum += s.PowerW
+	}
+	return sum / float64(len(ts.Samples))
+}

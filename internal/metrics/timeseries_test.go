@@ -1,0 +1,58 @@
+package metrics
+
+import (
+	"encoding/csv"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestTimeSeriesDecimation(t *testing.T) {
+	ts := NewTimeSeries(3)
+	for i := 0; i < 10; i++ {
+		ts.Add(TickSample{Time: sim.Time(i), Runnable: i})
+	}
+	if len(ts.Samples) != 4 { // ticks 0,3,6,9
+		t.Fatalf("samples = %d, want 4", len(ts.Samples))
+	}
+	if ts.Samples[1].Runnable != 3 {
+		t.Fatalf("decimation misaligned: %+v", ts.Samples)
+	}
+}
+
+func TestTimeSeriesNilSafe(t *testing.T) {
+	var ts *TimeSeries
+	ts.Add(TickSample{})
+	if ts.MaxRunnable() != 0 || ts.MeanPower() != 0 {
+		t.Fatal("nil series not inert")
+	}
+}
+
+func TestTimeSeriesCSV(t *testing.T) {
+	ts := NewTimeSeries(1)
+	ts.Add(TickSample{Time: 4 * sim.Millisecond, Runnable: 2, BusyCores: 2, MeanBusyMHz: 3400, PowerW: 80.5})
+	var b strings.Builder
+	if err := ts.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := csv.NewReader(strings.NewReader(b.String())).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 || recs[1][1] != "2" || recs[1][4] != "3400" {
+		t.Fatalf("csv = %v", recs)
+	}
+}
+
+func TestTimeSeriesAggregates(t *testing.T) {
+	ts := NewTimeSeries(1)
+	ts.Add(TickSample{Runnable: 3, PowerW: 100})
+	ts.Add(TickSample{Runnable: 7, PowerW: 50})
+	if ts.MaxRunnable() != 7 {
+		t.Fatalf("MaxRunnable = %d", ts.MaxRunnable())
+	}
+	if ts.MeanPower() != 75 {
+		t.Fatalf("MeanPower = %v", ts.MeanPower())
+	}
+}

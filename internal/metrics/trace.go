@@ -1,0 +1,82 @@
+package metrics
+
+import (
+	"repro/internal/machine"
+	"repro/internal/sim"
+)
+
+// TracePoint records that a core was busy at a tick, and at what
+// frequency — the raw material of the paper's execution traces
+// (Figures 2, 8 and 9).
+type TracePoint struct {
+	Tick int32 // tick index since trace start
+	Core int32
+	Freq machine.FreqMHz
+}
+
+// Trace collects per-tick core activity inside a window. A nil *Trace is
+// a disabled trace; all methods are nil-safe.
+type Trace struct {
+	Start, End sim.Time
+	Points     []TracePoint
+	// UnderloadSeries holds the §5.2 underload value of each tick
+	// interval inside the window (Figure 3).
+	UnderloadSeries []int
+}
+
+// NewTrace returns a trace capturing [start, end).
+func NewTrace(start, end sim.Time) *Trace {
+	return &Trace{Start: start, End: end}
+}
+
+// Active reports whether t falls inside the trace window.
+func (tr *Trace) Active(t sim.Time) bool {
+	return tr != nil && t >= tr.Start && t < tr.End
+}
+
+// AddPoint records a busy core at a tick (no-op when nil/outside).
+func (tr *Trace) AddPoint(now sim.Time, core machine.CoreID, f machine.FreqMHz) {
+	if !tr.Active(now) {
+		return
+	}
+	tick := int32((now - tr.Start) / sim.Tick)
+	tr.Points = append(tr.Points, TracePoint{Tick: tick, Core: int32(core), Freq: f})
+}
+
+// AddUnderload appends one interval's underload value.
+func (tr *Trace) AddUnderload(now sim.Time, v int) {
+	if !tr.Active(now) {
+		return
+	}
+	tr.UnderloadSeries = append(tr.UnderloadSeries, v)
+}
+
+// CoresUsed returns the distinct cores that appear in the trace, sorted.
+func (tr *Trace) CoresUsed() []machine.CoreID {
+	if tr == nil {
+		return nil
+	}
+	seen := map[machine.CoreID]bool{}
+	var out []machine.CoreID
+	for _, p := range tr.Points {
+		c := machine.CoreID(p.Core)
+		if !seen[c] {
+			seen[c] = true
+			out = append(out, c)
+		}
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// Ticks returns the number of tick columns the trace spans.
+func (tr *Trace) Ticks() int {
+	if tr == nil {
+		return 0
+	}
+	return int((tr.End - tr.Start + sim.Tick - 1) / sim.Tick)
+}

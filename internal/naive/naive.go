@@ -1,0 +1,64 @@
+// Package naive provides deliberately simple placement baselines —
+// useful as a floor when comparing CFS, Nest and Smove, and as a
+// demonstration that the runtime is policy-agnostic.
+package naive
+
+import (
+	"repro/internal/machine"
+	"repro/internal/proc"
+	"repro/internal/sched"
+)
+
+// Random places every task on a uniformly random core, ignoring
+// idleness entirely. Work conservation comes only from the runtime's
+// load balancing, frequencies suffer from maximal dispersal: the
+// anti-Nest.
+type Random struct {
+	sched.Base
+}
+
+// NewRandom returns the random-placement baseline.
+func NewRandom() *Random { return &Random{} }
+
+// Name implements sched.Policy.
+func (*Random) Name() string { return "random" }
+
+// SelectCoreFork implements sched.Policy.
+func (p *Random) SelectCoreFork(m sched.Machine, parent, child *proc.Task, parentCore machine.CoreID) machine.CoreID {
+	m.ChargeSearch(1, 100)
+	return machine.CoreID(m.Rand().Intn(m.Topo().NumCores()))
+}
+
+// SelectCoreWakeup implements sched.Policy.
+func (p *Random) SelectCoreWakeup(m sched.Machine, t *proc.Task, wakerCore machine.CoreID, sync bool) machine.CoreID {
+	m.ChargeSearch(1, 100)
+	return machine.CoreID(m.Rand().Intn(m.Topo().NumCores()))
+}
+
+// Sticky always returns the task to its previous core (the parent's for
+// a fork), regardless of load: perfect affinity, zero work conservation
+// at placement time. Overloads are left entirely to the balancer.
+type Sticky struct {
+	sched.Base
+}
+
+// NewSticky returns the sticky baseline.
+func NewSticky() *Sticky { return &Sticky{} }
+
+// Name implements sched.Policy.
+func (*Sticky) Name() string { return "sticky" }
+
+// SelectCoreFork implements sched.Policy.
+func (p *Sticky) SelectCoreFork(m sched.Machine, parent, child *proc.Task, parentCore machine.CoreID) machine.CoreID {
+	m.ChargeSearch(1, 50)
+	return parentCore
+}
+
+// SelectCoreWakeup implements sched.Policy.
+func (p *Sticky) SelectCoreWakeup(m sched.Machine, t *proc.Task, wakerCore machine.CoreID, sync bool) machine.CoreID {
+	m.ChargeSearch(1, 50)
+	if t.Last != proc.NoCore {
+		return t.Last
+	}
+	return wakerCore
+}

@@ -1,0 +1,75 @@
+package naive_test
+
+import (
+	"testing"
+
+	"repro/internal/cpu"
+	"repro/internal/governor"
+	"repro/internal/machine"
+	"repro/internal/naive"
+	"repro/internal/proc"
+	"repro/internal/sched"
+	"repro/internal/sim"
+)
+
+func runForkHeavy(t *testing.T, pol sched.Policy) *cpu.Machine {
+	t.Helper()
+	spec := machine.IntelXeon5218()
+	m := cpu.New(cpu.Config{Spec: spec, Gov: governor.Schedutil{}, Policy: pol, Seed: 2})
+	work := proc.Cycles(sim.Millisecond, spec.Nominal)
+	m.Spawn("sh", proc.Loop(100, func(int) []proc.Action {
+		return []proc.Action{
+			proc.Fork{Name: "cmd", Behavior: proc.Script(proc.Compute{Cycles: work})},
+			proc.WaitChildren{},
+		}
+	}))
+	m.Run(30 * sim.Second)
+	return m
+}
+
+func TestRandomCompletesAndDisperses(t *testing.T) {
+	m := runForkHeavy(t, naive.NewRandom())
+	res := m.Result()
+	if res.Custom["truncated"] != 0 {
+		t.Fatal("random baseline deadlocked")
+	}
+	if res.Counters.Migrations == 0 {
+		t.Fatal("random placement produced no migrations")
+	}
+}
+
+func TestStickyCompletes(t *testing.T) {
+	m := runForkHeavy(t, naive.NewSticky())
+	res := m.Result()
+	if res.Custom["truncated"] != 0 {
+		t.Fatal("sticky baseline deadlocked")
+	}
+	// Fork-to-parent + wake-to-prev: the whole script ping-pongs on the
+	// parent's core with essentially no migrations.
+	if res.Counters.Migrations > res.Counters.Forks/10 {
+		t.Fatalf("sticky migrated %d times over %d forks", res.Counters.Migrations, res.Counters.Forks)
+	}
+}
+
+func TestStickyBeatenByNestlikeWarmth(t *testing.T) {
+	// Sticky gets affinity but no work conservation: a saturating burst
+	// must still complete (work conservation via balancing).
+	spec := machine.IntelXeon6130(2)
+	m := cpu.New(cpu.Config{Spec: spec, Gov: governor.Performance{}, Policy: naive.NewSticky(), Seed: 3})
+	work := proc.Cycles(10*sim.Millisecond, spec.Nominal)
+	var actions []proc.Action
+	for i := 0; i < 16; i++ {
+		actions = append(actions, proc.Fork{Name: "w", Behavior: proc.Script(proc.Compute{Cycles: work})})
+	}
+	actions = append(actions, proc.WaitChildren{})
+	m.Spawn("root", proc.Script(actions...))
+	res := m.Run(10 * sim.Second)
+	if res.Custom["truncated"] != 0 {
+		t.Fatal("truncated")
+	}
+	// All 16 forked onto the parent's core; balancing must fan them out
+	// well enough to finish in far less than the serial time (160ms).
+	if res.Runtime > 120*sim.Millisecond {
+		t.Fatalf("sticky run took %v; balancer not spreading", res.Runtime)
+	}
+}

@@ -1,0 +1,100 @@
+// Package pelt implements a per-entity load-tracking signal modelled on
+// the Linux kernel's PELT: an exponentially decaying average of recent
+// activity with a 32 ms half-life.
+//
+// Two properties of this signal drive the paper's results and are
+// preserved exactly:
+//
+//  1. A core that has just gone idle keeps a non-zero load average for
+//     tens of milliseconds, so CFS's fork path — which picks the
+//     least-loaded core — prefers a long-idle (cold, low-frequency) core
+//     over a recently used (warm) one. This is the direct cause of the
+//     task dispersal in Figure 2(a).
+//  2. schedutil's frequency request follows utilisation, so a core whose
+//     task briefly blocks sees its requested frequency sag, which is what
+//     Nest's idle spinning counteracts.
+package pelt
+
+import (
+	"math"
+
+	"repro/internal/sim"
+)
+
+// HalfLife is the default decay half-life of the tracking signal,
+// matching the kernel's PELT.
+const HalfLife = 32 * sim.Millisecond
+
+// Signal is a lazily updated exponentially weighted activity average in
+// [0, 1]. The zero value is an idle signal at time zero with the default
+// PELT half-life.
+type Signal struct {
+	value    float64
+	level    float64 // instantaneous activity the average converges toward
+	last     sim.Time
+	halfLife sim.Duration // 0 means HalfLife
+}
+
+// WithHalfLife returns an idle signal that decays with the given
+// half-life. Hardware activity estimators (HWP) track much shorter
+// horizons than PELT; internal/cpu uses one per core to drive the
+// frequency model.
+func WithHalfLife(h sim.Duration) Signal {
+	return Signal{halfLife: h}
+}
+
+// decayTo brings the signal up to date at time t.
+func (s *Signal) decayTo(t sim.Time) {
+	if t <= s.last {
+		return
+	}
+	h := s.halfLife
+	if h == 0 {
+		h = HalfLife
+	}
+	dt := float64(t - s.last)
+	f := math.Exp(-math.Ln2 / float64(h) * dt)
+	// Converges toward the current activity level.
+	s.value = s.level + (s.value-s.level)*f
+	s.last = t
+}
+
+// SetRunning records that the entity started or stopped contributing
+// activity at time t.
+func (s *Signal) SetRunning(t sim.Time, running bool) {
+	lv := 0.0
+	if running {
+		lv = 1.0
+	}
+	s.SetLevel(t, lv)
+}
+
+// SetLevel records a fractional activity level at time t. Idle spinning
+// contributes a partial level: the hardware's activity estimator sees the
+// spin loop, but (on SpeedStep parts especially) discounts it relative to
+// real work.
+func (s *Signal) SetLevel(t sim.Time, level float64) {
+	if level < 0 {
+		level = 0
+	}
+	if level > 1 {
+		level = 1
+	}
+	s.decayTo(t)
+	s.level = level
+}
+
+// Value returns the utilisation estimate at time t.
+func (s *Signal) Value(t sim.Time) float64 {
+	s.decayTo(t)
+	return s.value
+}
+
+// Level returns the instantaneous activity level last set.
+func (s *Signal) Level() float64 { return s.level }
+
+// Reset forces the signal to v at time t (used when migrating load).
+func (s *Signal) Reset(t sim.Time, v float64) {
+	s.value = v
+	s.last = t
+}

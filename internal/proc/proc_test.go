@@ -1,0 +1,168 @@
+package proc
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/machine"
+	"repro/internal/sim"
+)
+
+func TestCyclesTimeRoundTrip(t *testing.T) {
+	f := func(dRaw uint32, fRaw uint16) bool {
+		d := sim.Duration(dRaw)
+		freq := machine.FreqMHz(int(fRaw)%4000 + 500)
+		cycles := Cycles(d, freq)
+		back := TimeFor(cycles, freq)
+		// TimeFor rounds up, so back is within one cycle-time of d.
+		return back >= d-1000/sim.Duration(freq)-1 && back <= d+1000
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTimeForNeverEarly(t *testing.T) {
+	// A completion event must never land before the work is done.
+	f := func(cRaw uint32, fRaw uint16) bool {
+		cycles := int64(cRaw)
+		freq := machine.FreqMHz(int(fRaw)%4000 + 500)
+		d := TimeFor(cycles, freq)
+		return Cycles(d, freq) >= cycles
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTimeForZero(t *testing.T) {
+	if TimeFor(0, 2000) != 0 || TimeFor(-5, 2000) != 0 {
+		t.Fatal("non-positive cycles should take no time")
+	}
+}
+
+func TestAttachedHistory(t *testing.T) {
+	task := &Task{Last: NoCore, Prev2: NoCore}
+	if task.Attached() {
+		t.Fatal("empty history attached")
+	}
+	task.RecordExecution(3)
+	if task.Attached() {
+		t.Fatal("single execution attached")
+	}
+	task.RecordExecution(5)
+	if task.Attached() {
+		t.Fatal("3,5 history attached")
+	}
+	task.RecordExecution(5)
+	if !task.Attached() {
+		t.Fatal("5,5 history not attached")
+	}
+	task.RecordExecution(7)
+	if task.Attached() {
+		t.Fatal("5,7 history attached")
+	}
+}
+
+func TestScriptPlaysInOrderThenExits(t *testing.T) {
+	b := Script(Compute{Cycles: 1}, Sleep{D: 2}, Compute{Cycles: 3})
+	task := &Task{}
+	r := sim.NewRand(1)
+	if a := b(task, r); a.(Compute).Cycles != 1 {
+		t.Fatal("wrong first action")
+	}
+	if a := b(task, r); a.(Sleep).D != 2 {
+		t.Fatal("wrong second action")
+	}
+	if a := b(task, r); a.(Compute).Cycles != 3 {
+		t.Fatal("wrong third action")
+	}
+	if _, ok := b(task, r).(Exit); !ok {
+		t.Fatal("script did not exit")
+	}
+	if _, ok := b(task, r).(Exit); !ok {
+		t.Fatal("exhausted script must keep exiting")
+	}
+}
+
+func TestLoopGeneratesNIterations(t *testing.T) {
+	calls := 0
+	b := Loop(3, func(i int) []Action {
+		calls++
+		if calls-1 != i {
+			t.Fatalf("iteration index %d on call %d", i, calls)
+		}
+		return []Action{Compute{Cycles: int64(i)}}
+	})
+	task := &Task{}
+	r := sim.NewRand(1)
+	for i := 0; i < 3; i++ {
+		a := b(task, r)
+		if a.(Compute).Cycles != int64(i) {
+			t.Fatalf("iteration %d wrong action %v", i, a)
+		}
+	}
+	if _, ok := b(task, r).(Exit); !ok {
+		t.Fatal("loop did not exit after n iterations")
+	}
+}
+
+func TestLoopSkipsEmptyIterations(t *testing.T) {
+	b := Loop(4, func(i int) []Action {
+		if i%2 == 0 {
+			return nil
+		}
+		return []Action{Compute{Cycles: int64(i)}}
+	})
+	task := &Task{}
+	r := sim.NewRand(1)
+	a := b(task, r)
+	if a.(Compute).Cycles != 1 {
+		t.Fatalf("got %v", a)
+	}
+	a = b(task, r)
+	if a.(Compute).Cycles != 3 {
+		t.Fatalf("got %v", a)
+	}
+	if _, ok := b(task, r).(Exit); !ok {
+		t.Fatal("no exit")
+	}
+}
+
+func TestNewChanMinimumCapacity(t *testing.T) {
+	ch := NewChan("c", 0)
+	if ch.Capacity != 1 {
+		t.Fatalf("capacity = %d, want clamped to 1", ch.Capacity)
+	}
+}
+
+func TestNewBarrierValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero-party barrier accepted")
+		}
+	}()
+	NewBarrier("b", 0)
+}
+
+func TestWaitingKidsFlag(t *testing.T) {
+	task := &Task{}
+	if task.WaitingKids() {
+		t.Fatal("new task waiting")
+	}
+	task.SetWaitingKids(true)
+	if !task.WaitingKids() {
+		t.Fatal("flag not set")
+	}
+}
+
+func TestStateString(t *testing.T) {
+	for st, want := range map[State]string{
+		StateNew: "new", StateRunnable: "runnable", StateRunning: "running",
+		StateSleeping: "sleeping", StateBlocked: "blocked", StateExited: "exited",
+	} {
+		if st.String() != want {
+			t.Fatalf("%d -> %q", st, st.String())
+		}
+	}
+}

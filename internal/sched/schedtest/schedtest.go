@@ -1,0 +1,147 @@
+// Package schedtest provides a configurable in-memory sched.Machine for
+// unit-testing placement policies without the full runtime.
+package schedtest
+
+import (
+	"repro/internal/machine"
+	"repro/internal/proc"
+	"repro/internal/sched"
+	"repro/internal/sim"
+)
+
+var _ sched.Machine = (*Fake)(nil)
+
+// Fake implements sched.Machine with directly settable state.
+type Fake struct {
+	SpecV *machine.Spec
+	NowV  sim.Time
+	Rng   *sim.Rand
+
+	Busy     map[machine.CoreID]bool
+	Queue    map[machine.CoreID]int
+	Load     map[machine.CoreID]float64
+	Freq     map[machine.CoreID]machine.FreqMHz
+	TickF    map[machine.CoreID]machine.FreqMHz
+	IdleAt   map[machine.CoreID]sim.Time
+	ClaimedV map[machine.CoreID]bool
+	SockLoad []float64
+	SockRun  []int
+
+	Examined int
+	Fixed    sim.Duration
+
+	// Moves records MoveIfStillQueued calls.
+	Moves []Move
+}
+
+// Move is a recorded MoveIfStillQueued call.
+type Move struct {
+	Task  *proc.Task
+	To    machine.CoreID
+	Delay sim.Duration
+}
+
+// NewFake returns a fake machine for spec with everything idle and cold.
+func NewFake(spec *machine.Spec) *Fake {
+	return &Fake{
+		SpecV:    spec,
+		Rng:      sim.NewRand(1),
+		Busy:     map[machine.CoreID]bool{},
+		Queue:    map[machine.CoreID]int{},
+		Load:     map[machine.CoreID]float64{},
+		Freq:     map[machine.CoreID]machine.FreqMHz{},
+		TickF:    map[machine.CoreID]machine.FreqMHz{},
+		IdleAt:   map[machine.CoreID]sim.Time{},
+		ClaimedV: map[machine.CoreID]bool{},
+		SockLoad: make([]float64, spec.Topo.NumSockets()),
+		SockRun:  make([]int, spec.Topo.NumSockets()),
+	}
+}
+
+// SetBusy marks c busy with the given load.
+func (f *Fake) SetBusy(c machine.CoreID, load float64) {
+	f.Busy[c] = true
+	f.Load[c] = load
+}
+
+// Spec implements sched.Machine.
+func (f *Fake) Spec() *machine.Spec { return f.SpecV }
+
+// Topo implements sched.Machine.
+func (f *Fake) Topo() *machine.Topology { return f.SpecV.Topo }
+
+// Now implements sched.Machine.
+func (f *Fake) Now() sim.Time { return f.NowV }
+
+// Rand implements sched.Machine.
+func (f *Fake) Rand() *sim.Rand { return f.Rng }
+
+// IsIdle implements sched.Machine.
+func (f *Fake) IsIdle(c machine.CoreID) bool { return !f.Busy[c] && f.Queue[c] == 0 }
+
+// QueueLen implements sched.Machine.
+func (f *Fake) QueueLen(c machine.CoreID) int {
+	n := f.Queue[c]
+	if f.Busy[c] {
+		n++
+	}
+	return n
+}
+
+// LoadAvg implements sched.Machine.
+func (f *Fake) LoadAvg(c machine.CoreID) float64 { return f.Load[c] }
+
+// CurFreq implements sched.Machine.
+func (f *Fake) CurFreq(c machine.CoreID) machine.FreqMHz {
+	if v, ok := f.Freq[c]; ok {
+		return v
+	}
+	return f.SpecV.Min
+}
+
+// TickFreq implements sched.Machine.
+func (f *Fake) TickFreq(c machine.CoreID) machine.FreqMHz {
+	if v, ok := f.TickF[c]; ok {
+		return v
+	}
+	return f.SpecV.Min
+}
+
+// IdleSince implements sched.Machine.
+func (f *Fake) IdleSince(c machine.CoreID) (sim.Time, bool) {
+	if f.Busy[c] {
+		return 0, false
+	}
+	return f.IdleAt[c], true
+}
+
+// Claimed implements sched.Machine.
+func (f *Fake) Claimed(c machine.CoreID) bool { return f.ClaimedV[c] }
+
+// SocketLoads implements sched.Machine.
+func (f *Fake) SocketLoads() []float64 { return f.SockLoad }
+
+// SocketRunning implements sched.Machine.
+func (f *Fake) SocketRunning() []int { return f.SockRun }
+
+// ChargeSearch implements sched.Machine.
+func (f *Fake) ChargeSearch(examined int, fixed sim.Duration) {
+	f.Examined += examined
+	f.Fixed += fixed
+}
+
+// MoveIfStillQueued implements sched.Machine.
+func (f *Fake) MoveIfStillQueued(t *proc.Task, to machine.CoreID, d sim.Duration) {
+	f.Moves = append(f.Moves, Move{Task: t, To: to, Delay: d})
+}
+
+// NewTask returns a task with the given core history for placement tests.
+func NewTask(id int, last, prev2 machine.CoreID) *proc.Task {
+	return &proc.Task{
+		ID:    proc.TaskID(id),
+		Name:  "t",
+		Last:  last,
+		Prev2: prev2,
+		Cur:   proc.NoCore,
+	}
+}

@@ -1,0 +1,198 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// The engine maintains a virtual clock in nanoseconds and a priority queue
+// of events. Events scheduled for the same instant fire in the order they
+// were scheduled (FIFO), which keeps runs deterministic. All simulation
+// state in this repository is driven from a single goroutine; the engine
+// is intentionally not safe for concurrent use.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is a point in virtual time, in nanoseconds since the start of the
+// simulation.
+type Time int64
+
+// Duration is a span of virtual time in nanoseconds.
+type Duration = Time
+
+// Common durations.
+const (
+	Nanosecond  Duration = 1
+	Microsecond          = 1000 * Nanosecond
+	Millisecond          = 1000 * Microsecond
+	Second               = 1000 * Millisecond
+)
+
+// Tick is the scheduler tick period (250 Hz, as on the paper's servers).
+const Tick = 4 * Millisecond
+
+// Seconds converts a virtual time to floating-point seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Millis converts a virtual time to floating-point milliseconds.
+func (t Time) Millis() float64 { return float64(t) / float64(Millisecond) }
+
+// String renders the time as seconds with microsecond precision.
+func (t Time) String() string { return fmt.Sprintf("%.6fs", t.Seconds()) }
+
+// Event is a scheduled callback. The zero Event is invalid; events are
+// created through Engine.At and Engine.After.
+type Event struct {
+	when  Time
+	seq   uint64
+	index int // heap index, -1 when not queued
+	fn    func()
+}
+
+// When returns the virtual time the event is scheduled for.
+func (e *Event) When() Time { return e.when }
+
+// Scheduled reports whether the event is still pending in the queue.
+func (e *Event) Scheduled() bool { return e != nil && e.index >= 0 }
+
+// eventQueue is a min-heap ordered by (when, seq).
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].when != q[j].when {
+		return q[i].when < q[j].when
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *eventQueue) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*q)
+	*q = append(*q, e)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*q = old[:n-1]
+	return e
+}
+
+// Engine is a discrete-event simulator instance.
+type Engine struct {
+	now   Time
+	seq   uint64
+	queue eventQueue
+	// steps counts processed events, for run-away detection in tests.
+	steps uint64
+}
+
+// NewEngine returns an engine with the clock at zero and an empty queue.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Steps returns the number of events processed so far.
+func (e *Engine) Steps() uint64 { return e.steps }
+
+// Pending returns the number of queued events.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// At schedules fn to run at time t. Scheduling in the past panics: it
+// always indicates a modelling bug, and silently reordering time would
+// corrupt every metric downstream.
+func (e *Engine) At(t Time, fn func()) *Event {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
+	}
+	ev := &Event{when: t, seq: e.seq, fn: fn, index: -1}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// After schedules fn to run d nanoseconds from now.
+func (e *Engine) After(d Duration, fn func()) *Event {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %d", d))
+	}
+	return e.At(e.now+d, fn)
+}
+
+// Cancel removes a pending event from the queue. Cancelling an event that
+// already fired (or was already cancelled) is a no-op and returns false.
+func (e *Engine) Cancel(ev *Event) bool {
+	if ev == nil || ev.index < 0 {
+		return false
+	}
+	heap.Remove(&e.queue, ev.index)
+	ev.index = -1
+	ev.fn = nil
+	return true
+}
+
+// Reschedule moves a pending event to a new time, preserving identity.
+// If the event already fired it is re-armed.
+func (e *Engine) Reschedule(ev *Event, t Time, fn func()) {
+	e.Cancel(ev)
+	if t < e.now {
+		panic(fmt.Sprintf("sim: rescheduling event at %v before now %v", t, e.now))
+	}
+	ev.when = t
+	ev.seq = e.seq
+	e.seq++
+	ev.fn = fn
+	heap.Push(&e.queue, ev)
+}
+
+// Step processes the next event. It returns false when the queue is empty.
+func (e *Engine) Step() bool {
+	if len(e.queue) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.queue).(*Event)
+	if ev.when < e.now {
+		panic("sim: event queue went backwards")
+	}
+	e.now = ev.when
+	fn := ev.fn
+	ev.fn = nil
+	e.steps++
+	fn()
+	return true
+}
+
+// Run processes events until the queue is empty or the clock passes limit.
+// A limit of zero means no limit. It returns the final virtual time.
+func (e *Engine) Run(limit Time) Time {
+	for len(e.queue) > 0 {
+		next := e.queue[0].when
+		if limit > 0 && next > limit {
+			e.now = limit
+			break
+		}
+		e.Step()
+	}
+	return e.now
+}
+
+// RunUntil processes events while cond returns true and events remain.
+func (e *Engine) RunUntil(cond func() bool) Time {
+	for len(e.queue) > 0 && !cond() {
+		e.Step()
+	}
+	return e.now
+}

@@ -1,0 +1,295 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEngineOrdering(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	e.At(30, func() { got = append(got, 3) })
+	e.At(10, func() { got = append(got, 1) })
+	e.At(20, func() { got = append(got, 2) })
+	e.Run(0)
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if e.Now() != 30 {
+		t.Fatalf("Now = %v, want 30", e.Now())
+	}
+}
+
+func TestEngineFIFOAtSameInstant(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(5, func() { got = append(got, i) })
+	}
+	e.Run(0)
+	for i := range got {
+		if got[i] != i {
+			t.Fatalf("same-instant events fired out of order: %v", got)
+		}
+	}
+}
+
+func TestEngineAfter(t *testing.T) {
+	e := NewEngine()
+	var fired Time = -1
+	e.At(100, func() {
+		e.After(50, func() { fired = e.Now() })
+	})
+	e.Run(0)
+	if fired != 150 {
+		t.Fatalf("After fired at %d, want 150", fired)
+	}
+}
+
+func TestEngineCancel(t *testing.T) {
+	e := NewEngine()
+	ran := false
+	ev := e.At(10, func() { ran = true })
+	if !e.Cancel(ev) {
+		t.Fatal("Cancel returned false for pending event")
+	}
+	if e.Cancel(ev) {
+		t.Fatal("double Cancel returned true")
+	}
+	e.Run(0)
+	if ran {
+		t.Fatal("cancelled event ran")
+	}
+}
+
+func TestEngineCancelNested(t *testing.T) {
+	// Cancelling an event from inside another event at the same instant.
+	e := NewEngine()
+	ran := false
+	var victim *Event
+	e.At(10, func() { e.Cancel(victim) })
+	victim = e.At(10, func() { ran = true })
+	e.Run(0)
+	if ran {
+		t.Fatal("event cancelled at its own instant still ran")
+	}
+}
+
+func TestEngineReschedule(t *testing.T) {
+	e := NewEngine()
+	var at Time
+	ev := e.At(10, func() { at = e.Now() })
+	e.Reschedule(ev, 40, func() { at = e.Now() })
+	e.Run(0)
+	if at != 40 {
+		t.Fatalf("rescheduled event fired at %d, want 40", at)
+	}
+	// Re-arming an already-fired event must work too.
+	e.Reschedule(ev, 60, func() { at = e.Now() })
+	e.Run(0)
+	if at != 60 {
+		t.Fatalf("re-armed event fired at %d, want 60", at)
+	}
+}
+
+func TestEngineRunLimit(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	var tick func()
+	tick = func() {
+		count++
+		e.After(10, tick)
+	}
+	e.After(10, tick)
+	e.Run(100)
+	if count != 10 {
+		t.Fatalf("count = %d, want 10", count)
+	}
+	if e.Now() != 100 {
+		t.Fatalf("Now = %v, want 100", e.Now())
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("Pending = %d, want 1", e.Pending())
+	}
+}
+
+func TestEnginePastPanics(t *testing.T) {
+	e := NewEngine()
+	e.At(10, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		e.At(5, func() {})
+	})
+	e.Run(0)
+}
+
+func TestEngineRunUntil(t *testing.T) {
+	e := NewEngine()
+	n := 0
+	var tick func()
+	tick = func() { n++; e.After(1, tick) }
+	e.After(1, tick)
+	e.RunUntil(func() bool { return n >= 7 })
+	if n != 7 {
+		t.Fatalf("n = %d, want 7", n)
+	}
+}
+
+func TestRandDeterminism(t *testing.T) {
+	a, b := NewRand(42), NewRand(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	c := NewRand(43)
+	same := 0
+	a = NewRand(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("streams for adjacent seeds collide too often: %d", same)
+	}
+}
+
+func TestRandFloat64Range(t *testing.T) {
+	r := NewRand(7)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of range: %v", v)
+		}
+	}
+}
+
+func TestRandIntnProperty(t *testing.T) {
+	f := func(seed uint64, n uint16) bool {
+		m := int(n%1000) + 1
+		r := NewRand(seed)
+		for i := 0; i < 100; i++ {
+			v := r.Intn(m)
+			if v < 0 || v >= m {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandDurationBounds(t *testing.T) {
+	f := func(seed uint64, a, b uint32) bool {
+		lo, hi := Duration(a), Duration(b)
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		r := NewRand(seed)
+		d := r.Duration(lo, hi)
+		return d >= lo && d <= hi
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandLogNormalDur(t *testing.T) {
+	r := NewRand(1)
+	mean := 10 * Millisecond
+	var sum float64
+	const n = 20000
+	for i := 0; i < n; i++ {
+		d := r.LogNormalDur(mean, 0.5)
+		if d < mean/10 || d > mean*10 {
+			t.Fatalf("sample %v outside clamp", d)
+		}
+		sum += float64(d)
+	}
+	avg := sum / n
+	if avg < float64(mean)*0.8 || avg > float64(mean)*1.2 {
+		t.Fatalf("lognormal mean drifted: got %v want ~%v", Duration(avg), mean)
+	}
+}
+
+func TestRandExpMean(t *testing.T) {
+	r := NewRand(3)
+	mean := 2 * Millisecond
+	var sum float64
+	const n = 20000
+	for i := 0; i < n; i++ {
+		sum += float64(r.Exp(mean))
+	}
+	avg := sum / n
+	if avg < float64(mean)*0.9 || avg > float64(mean)*1.1 {
+		t.Fatalf("exponential mean drifted: got %v want ~%v", Duration(avg), mean)
+	}
+}
+
+func TestRandPerm(t *testing.T) {
+	r := NewRand(9)
+	p := r.Perm(50)
+	seen := make([]bool, 50)
+	for _, v := range p {
+		if v < 0 || v >= 50 || seen[v] {
+			t.Fatalf("not a permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestTimeString(t *testing.T) {
+	if got := (1500 * Millisecond).String(); got != "1.500000s" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+func TestEngineHeapProperty(t *testing.T) {
+	// Random schedule/cancel interleavings must always deliver events in
+	// non-decreasing time order.
+	f := func(seed uint64, n uint8) bool {
+		r := NewRand(seed)
+		e := NewEngine()
+		var fired []Time
+		var events []*Event
+		for i := 0; i < int(n)+1; i++ {
+			d := Duration(r.Intn(1000))
+			ev := e.After(d, func() { fired = append(fired, e.Now()) })
+			events = append(events, ev)
+			if r.Intn(4) == 0 && len(events) > 1 {
+				e.Cancel(events[r.Intn(len(events))])
+			}
+		}
+		e.Run(0)
+		for i := 1; i < len(fired); i++ {
+			if fired[i] < fired[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEngineStepsCount(t *testing.T) {
+	e := NewEngine()
+	for i := 0; i < 5; i++ {
+		e.At(Time(i), func() {})
+	}
+	e.Run(0)
+	if e.Steps() != 5 {
+		t.Fatalf("Steps = %d", e.Steps())
+	}
+}

@@ -1,0 +1,99 @@
+package svgplot
+
+import (
+	"encoding/xml"
+	"strings"
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+)
+
+// wellFormed checks the output parses as XML and contains the expected
+// element kinds.
+func wellFormed(t *testing.T, out string, wantElems ...string) {
+	t.Helper()
+	dec := xml.NewDecoder(strings.NewReader(out))
+	for {
+		_, err := dec.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				break
+			}
+			t.Fatalf("not well-formed XML: %v\n%s", err, out)
+		}
+	}
+	for _, e := range wantElems {
+		if !strings.Contains(out, "<"+e) {
+			t.Fatalf("missing <%s> element", e)
+		}
+	}
+}
+
+func sampleTrace() *metrics.Trace {
+	tr := metrics.NewTrace(0, 40*sim.Millisecond)
+	tr.AddPoint(0, 3, 1000)
+	tr.AddPoint(4*sim.Millisecond, 3, 3900)
+	tr.AddPoint(8*sim.Millisecond, 7, 2500)
+	return tr
+}
+
+var testEdges = []machine.FreqMHz{1000, 1600, 2300, 2800, 3100, 3600, 3900}
+
+func TestHeatmap(t *testing.T) {
+	var b strings.Builder
+	Heatmap(&b, "t <&>", sampleTrace(), testEdges)
+	wellFormed(t, b.String(), "svg", "rect", "text")
+	if !strings.Contains(b.String(), "core 7") {
+		t.Fatal("core label missing")
+	}
+	if !strings.Contains(b.String(), "&lt;&amp;&gt;") {
+		t.Fatal("title not escaped")
+	}
+}
+
+func TestHeatmapEmpty(t *testing.T) {
+	var b strings.Builder
+	Heatmap(&b, "x", metrics.NewTrace(0, sim.Millisecond), testEdges)
+	wellFormed(t, b.String(), "svg")
+}
+
+func TestUnderloadSeries(t *testing.T) {
+	var b strings.Builder
+	UnderloadSeries(&b, "u", []int{0, 2, 5, 1, 0})
+	wellFormed(t, b.String(), "svg", "rect", "line")
+}
+
+func TestBars(t *testing.T) {
+	var b strings.Builder
+	Bars(&b, "speedups", []string{"a", "b"}, []BarGroup{
+		{Label: "w1", Values: []float64{12, -3}},
+		{Label: "w2", Values: []float64{40, 8}},
+	})
+	out := b.String()
+	wellFormed(t, out, "svg", "rect", "line", "text")
+	// Negative bars must render below the zero line (a second rect form).
+	if strings.Count(out, "<rect") < 5 {
+		t.Fatalf("too few bars rendered:\n%s", out)
+	}
+}
+
+func TestTimeSeries(t *testing.T) {
+	ts := metrics.NewTimeSeries(1)
+	for i := 0; i < 20; i++ {
+		ts.Add(metrics.TickSample{
+			Time: sim.Time(i) * sim.Tick, Runnable: i % 5,
+			BusyCores: i % 7, MeanBusyMHz: 2000 + 50*float64(i), PowerW: 80,
+		})
+	}
+	var b strings.Builder
+	TimeSeries(&b, "ts", ts, 3900)
+	wellFormed(t, b.String(), "svg", "polyline")
+}
+
+func TestTimeSeriesEmpty(t *testing.T) {
+	var b strings.Builder
+	TimeSeries(&b, "ts", metrics.NewTimeSeries(1), 3900)
+	wellFormed(t, b.String(), "svg")
+}

@@ -1,0 +1,108 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cfs"
+	"repro/internal/cpu"
+	"repro/internal/governor"
+	"repro/internal/machine"
+)
+
+const customJSON = `{
+  "name": "mytest",
+  "groups": [
+    {"name": "worker", "count": 8, "iterations": 40,
+     "compute_us": 1500, "compute_cv": 0.5,
+     "sleep_us": 3000, "sleep_cv": 1.2, "scale_sleep": true},
+    {"name": "dispatcher", "iterations": 30,
+     "compute_us": 800, "fork_children": 4},
+    {"name": "omp", "count": 6, "iterations": 20,
+     "compute_us": 2000, "barrier": "b1", "active_wait": true}
+  ]
+}`
+
+func runCustom(t *testing.T, js string, scale float64) *cpu.Machine {
+	t.Helper()
+	w, err := LoadCustom(strings.NewReader(js))
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := machine.IntelXeon5218()
+	m := cpu.New(cpu.Config{Spec: spec, Gov: governor.Schedutil{}, Policy: cfs.Default(), Seed: 4})
+	w.Install(m, scale)
+	m.Run(0)
+	return m
+}
+
+func TestCustomWorkloadRuns(t *testing.T) {
+	m := runCustom(t, customJSON, 0.5)
+	res := m.Result()
+	if res.Custom["truncated"] != 0 {
+		t.Fatal("custom workload deadlocked")
+	}
+	// dispatcher forks 4 children × iterations; workers and omp tasks
+	// were forked by main: plenty of forks expected.
+	if res.Counters.Forks < 50 {
+		t.Fatalf("forks = %d", res.Counters.Forks)
+	}
+	if res.Counters.SpinTicksTotal == 0 {
+		t.Log("note: no active-wait spin ticks observed (short run)")
+	}
+}
+
+func TestCustomValidation(t *testing.T) {
+	bad := []string{
+		`{"groups":[{"name":"x","compute_us":1}]}`,                         // no name
+		`{"name":"x","groups":[]}`,                                         // no groups
+		`{"name":"x","groups":[{"name":"g"}]}`,                             // no compute
+		`{"name":"x","groups":[{"name":"g","compute_us":-1}]}`,             // negative
+		`{"name":"x","groups":[{"name":"g","compute_us":1,"count":-2}]}`,   // negative count
+		`{"name":"x","groups":[{"name":"g","compute_us":1,"bogus":true}]}`, // unknown field
+		`{"name":"x","groups":[{"name":"g","compute_us":1,"barrier":"b","fork_children":2}]}`,
+	}
+	for _, js := range bad {
+		if _, err := LoadCustom(strings.NewReader(js)); err == nil {
+			t.Errorf("accepted invalid spec: %s", js)
+		}
+	}
+}
+
+func TestCustomBarrierAcrossGroups(t *testing.T) {
+	js := `{
+	  "name": "xgroups",
+	  "groups": [
+	    {"name": "a", "count": 3, "iterations": 10, "compute_us": 500, "barrier": "shared"},
+	    {"name": "b", "count": 2, "iterations": 10, "compute_us": 900, "barrier": "shared"}
+	  ]
+	}`
+	m := runCustom(t, js, 1)
+	if m.Result().Custom["truncated"] != 0 {
+		t.Fatal("cross-group barrier deadlocked (parties miscounted)")
+	}
+}
+
+func TestRegisterCustom(t *testing.T) {
+	js := `{"name":"registered-once","groups":[{"name":"g","compute_us":100,"iterations":5}]}`
+	w, err := RegisterCustom(strings.NewReader(js))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ByName(w.Name)
+	if err != nil || got != w {
+		t.Fatalf("registered workload not resolvable: %v", err)
+	}
+	if _, err := RegisterCustom(strings.NewReader(js)); err == nil {
+		t.Fatal("duplicate registration accepted")
+	}
+}
+
+func TestCustomSoloComputeNoSleep(t *testing.T) {
+	// A pure compute group (no sleeps, no barrier) must terminate.
+	js := `{"name":"solo","groups":[{"name":"g","count":2,"iterations":8,"compute_us":2000}]}`
+	m := runCustom(t, js, 1)
+	if m.Result().Custom["truncated"] != 0 {
+		t.Fatal("solo compute group did not terminate")
+	}
+}

@@ -1,0 +1,135 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/cpu"
+	"repro/internal/proc"
+	"repro/internal/sim"
+)
+
+// hackbench models `hackbench -g G -l L` (§5.6): G groups of senders and
+// receivers exchanging messages over socketpair-like channels as fast as
+// the scheduler can wake them. Execution time is almost pure scheduling
+// cost (96% system time with CFS), so Nest's longer core-selection path
+// and the instruction-cache misses of stacking many communicating tasks
+// on few warm cores turn into a slowdown — the paper's worst case.
+type hackbenchProfile struct {
+	Groups   int
+	Pairs    int // sender/receiver pairs per group (20 in the original)
+	Messages int // messages per sender
+	MsgWork  sim.Duration
+}
+
+func (p hackbenchProfile) install(m *cpu.Machine, scale float64) {
+	msgs := scaleCount(p.Messages, scale, 20)
+	work := nominalCycles(m, p.MsgWork)
+
+	var actions []proc.Action
+	for g := 0; g < p.Groups; g++ {
+		for q := 0; q < p.Pairs; q++ {
+			ch := proc.NewChan(fmt.Sprintf("hb-%d-%d", g, q), 1)
+			sender := proc.Loop(msgs, func(i int) []proc.Action {
+				return []proc.Action{proc.Compute{Cycles: work}, proc.Send{Ch: ch}}
+			})
+			receiver := proc.Loop(msgs, func(i int) []proc.Action {
+				return []proc.Action{proc.Recv{Ch: ch}, proc.Compute{Cycles: work}}
+			})
+			actions = append(actions,
+				proc.Fork{Name: "sender", Behavior: sender},
+				proc.Fork{Name: "receiver", Behavior: receiver},
+			)
+		}
+	}
+	actions = append(actions, proc.WaitChildren{})
+	m.Spawn("hackbench", proc.Script(actions...))
+}
+
+// schbench models the scheduling-latency benchmark (§5.6): message
+// threads dispatch work items to workers and the metric is the p99.9
+// wakeup latency, read from Result.WakeLatency.
+type schbenchProfile struct {
+	MessageThreads int
+	Workers        int // per message thread
+	Requests       int // per worker
+	Work           sim.Duration
+}
+
+func (p schbenchProfile) install(m *cpu.Machine, scale float64) {
+	reqs := scaleCount(p.Requests, scale, 30)
+	work := nominalCycles(m, p.Work)
+
+	var actions []proc.Action
+	for mt := 0; mt < p.MessageThreads; mt++ {
+		chans := make([]*proc.Chan, p.Workers)
+		for w := 0; w < p.Workers; w++ {
+			ch := proc.NewChan(fmt.Sprintf("sb-%d-%d", mt, w), 4)
+			chans[w] = ch
+			worker := proc.Loop(reqs, func(i int) []proc.Action {
+				return []proc.Action{proc.Recv{Ch: ch}, proc.Compute{Cycles: work}}
+			})
+			actions = append(actions, proc.Fork{Name: "worker", Behavior: worker})
+		}
+		msgr := func() proc.Behavior {
+			round := 0
+			idx := 0
+			return func(t *proc.Task, r *sim.Rand) proc.Action {
+				if round >= reqs {
+					return proc.Exit{}
+				}
+				if idx < len(chans) {
+					ch := chans[idx]
+					idx++
+					return proc.Send{Ch: ch}
+				}
+				idx = 0
+				round++
+				return proc.Sleep{D: 100 * sim.Microsecond}
+			}
+		}
+		actions = append(actions, proc.Fork{Name: "messenger", Behavior: msgr()})
+	}
+	actions = append(actions, proc.WaitChildren{})
+	m.Spawn("schbench", proc.Script(actions...))
+}
+
+func init() {
+	// hackbench -g 100 -l 10000 scaled down by group count; message count
+	// scales with the run scale.
+	register(&Workload{
+		Name:         "micro/hackbench",
+		Suite:        "micro",
+		PaperSeconds: 22.5, // 5218, CFS-schedutil
+		Install: func(m *cpu.Machine, scale float64) {
+			hackbenchProfile{
+				Groups:   25,
+				Pairs:    10,
+				Messages: 40000,
+				MsgWork:  25 * sim.Microsecond,
+			}.install(m, scale)
+		},
+	})
+	// schbench configurations from the paper: 2-32 message threads and
+	// 2-32 workers each.
+	for _, cfg := range []struct{ mt, w int }{
+		{2, 2}, {2, 8}, {2, 16}, {2, 32},
+		{8, 8}, {8, 16}, {8, 32},
+		{16, 16}, {16, 32},
+		{32, 8}, {32, 16}, {32, 32},
+	} {
+		cfg := cfg
+		register(&Workload{
+			Name:         fmt.Sprintf("micro/schbench-m%d-w%d", cfg.mt, cfg.w),
+			Suite:        "micro",
+			PaperSeconds: 10,
+			Install: func(m *cpu.Machine, scale float64) {
+				schbenchProfile{
+					MessageThreads: cfg.mt,
+					Workers:        cfg.w,
+					Requests:       2000,
+					Work:           200 * sim.Microsecond,
+				}.install(m, scale)
+			},
+		})
+	}
+}

@@ -1,0 +1,40 @@
+package workload
+
+import (
+	"strings"
+
+	"repro/internal/cpu"
+	"repro/internal/proc"
+	"repro/internal/sim"
+)
+
+// multiapp models §5.6's concurrent-application experiment: zstd
+// compression and libgav1 decoding run at the same time on one machine.
+// The Result's Custom metrics "zstd_s" and "libgav1_s" record each
+// application's own completion time, so per-application speedups can be
+// compared against the single-application runs.
+func installMultiApp(m *cpu.Machine, scale float64) {
+	zstd := ptsProfile{Threads: 48, Burst: 450 * sim.Microsecond, Gap: 2500 * sim.Microsecond, BurstCV: 0.5, GapCV: 1.2, ScaleGap: true}
+	gav := ptsProfile{Threads: 10, Burst: 1300 * sim.Microsecond, Gap: 2 * msec, BurstCV: 0.7, GapCV: 1.2, ScaleGap: true}
+
+	zstd.installNamed(m, scale, 15, "zstd")
+	gav.installNamed(m, scale, 14, "libgav1")
+
+	m.OnExit(func(t *proc.Task) {
+		switch {
+		case strings.HasPrefix(t.Name, "zstd-main"):
+			m.Result().SetCustom("zstd_s", t.Finished.Seconds())
+		case strings.HasPrefix(t.Name, "libgav1-main"):
+			m.Result().SetCustom("libgav1_s", t.Finished.Seconds())
+		}
+	})
+}
+
+func init() {
+	register(&Workload{
+		Name:         "multi/zstd+libgav1",
+		Suite:        "multi",
+		PaperSeconds: 15,
+		Install:      installMultiApp,
+	})
+}

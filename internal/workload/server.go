@@ -1,0 +1,185 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/cpu"
+	"repro/internal/proc"
+	"repro/internal/sim"
+)
+
+// serverProfile models the Phoronix server tests (§5.6). Most are
+// closed-loop: a fixed set of client-driven handlers issue the next
+// request as soon as the previous one completes, each request being some
+// compute plus an optional mid-request wait (disk, fsync). Wall time is
+// then work-limited, so placement and frequency effects show directly —
+// the leveldb/redis/perl pattern. Saturating tests (apache-siege at high
+// concurrency) use an open-loop queue instead: arrivals outpace the pool
+// and queueing dominates.
+type serverProfile struct {
+	// Handlers is the worker pool size.
+	Handlers int
+	// Requests is the total request count at paper scale.
+	Requests int
+	// Service is the per-request compute; Pause an optional mid-request
+	// wait (I/O, fsync).
+	Service sim.Duration
+	CV      float64
+	Pause   sim.Duration
+	PauseCV float64
+	// OpenLoop feeds requests through a queue at ArrivalFactor × pool
+	// capacity instead of client-driven closed loops.
+	OpenLoop      bool
+	ArrivalFactor float64
+}
+
+func (p serverProfile) install(m *cpu.Machine, scale float64) {
+	reqs := scaleCount(p.Requests, scale, 50)
+	svc := jitterCycles(m, p.Service, p.CV)
+	perHandler := reqs / p.Handlers
+	if perHandler < 1 {
+		perHandler = 1
+	}
+
+	if p.OpenLoop {
+		p.installOpenLoop(m, svc, perHandler)
+		return
+	}
+
+	// Closed loop: each handler serves its share back to back.
+	mkHandler := func() proc.Behavior {
+		left := perHandler
+		state := 0
+		return func(t *proc.Task, r *sim.Rand) proc.Action {
+			switch state {
+			case 0:
+				if left == 0 {
+					return proc.Exit{}
+				}
+				left--
+				if p.Pause > 0 {
+					state = 1
+				}
+				return proc.Compute{Cycles: svc(r)}
+			default:
+				state = 0
+				return proc.Sleep{D: r.LogNormalDur(p.Pause, maxf(p.PauseCV, 0.3))}
+			}
+		}
+	}
+	var actions []proc.Action
+	for i := 0; i < p.Handlers; i++ {
+		actions = append(actions, proc.Fork{Name: fmt.Sprintf("handler-%d", i), Behavior: mkHandler()})
+	}
+	actions = append(actions, proc.WaitChildren{})
+	m.Spawn("server-main", proc.Script(actions...))
+}
+
+// installOpenLoop builds the queue-fed saturated shape.
+func (p serverProfile) installOpenLoop(m *cpu.Machine, svc func(*sim.Rand) int64, perHandler int) {
+	queue := proc.NewChan("requests", 100_000)
+	total := perHandler * p.Handlers
+
+	mkHandler := func() proc.Behavior {
+		left := perHandler
+		state := 0
+		return func(t *proc.Task, r *sim.Rand) proc.Action {
+			switch state {
+			case 0:
+				if left == 0 {
+					return proc.Exit{}
+				}
+				left--
+				state = 1
+				return proc.Recv{Ch: queue}
+			default:
+				state = 0
+				return proc.Compute{Cycles: svc(r)}
+			}
+		}
+	}
+
+	// Several feeder tasks model the many client connections of a siege
+	// run; a single feeder would serialise arrivals behind its own
+	// wakeups and become the benchmark.
+	feeders := p.Handlers / 12
+	if feeders < 1 {
+		feeders = 1
+	}
+	meanSvc := float64(p.Service + p.Pause)
+	interarrival := sim.Duration(meanSvc / float64(p.Handlers) / maxf(p.ArrivalFactor, 0.05))
+	// Round up so the feeders always send at least what the pool will
+	// consume; surplus messages are simply left in the queue.
+	perFeeder := (total + feeders - 1) / feeders
+	mkFeeder := func() proc.Behavior {
+		sent := 0
+		sleeping := false
+		return func(t *proc.Task, r *sim.Rand) proc.Action {
+			if sent >= perFeeder {
+				return proc.Exit{}
+			}
+			if !sleeping {
+				sleeping = true
+				sent++
+				return proc.Send{Ch: queue}
+			}
+			sleeping = false
+			return proc.Sleep{D: r.Exp(interarrival * sim.Duration(feeders))}
+		}
+	}
+
+	var actions []proc.Action
+	for i := 0; i < p.Handlers; i++ {
+		actions = append(actions, proc.Fork{Name: fmt.Sprintf("handler-%d", i), Behavior: mkHandler()})
+	}
+	for i := 0; i < feeders; i++ {
+		actions = append(actions, proc.Fork{Name: fmt.Sprintf("client-%d", i), Behavior: mkFeeder()})
+	}
+	actions = append(actions, proc.WaitChildren{})
+	m.Spawn("server-main", proc.Script(actions...))
+}
+
+// serverTests models the §5.6 server results on the 2-socket 6130:
+// apache-siege degrades under Nest at high concurrency, nginx/node/php
+// hold parity, leveldb (+25%), redis (+7%) and perl (+16%) gain from warm
+// cores, rocksdb random-read loses a few percent.
+var serverTests = []struct {
+	name string
+	secs float64
+	prof serverProfile
+}{
+	{"apache-siege-250", 15, serverProfile{Handlers: 96, Requests: 60000, Service: 900 * sim.Microsecond, CV: 0.6, OpenLoop: true, ArrivalFactor: 1.3}},
+	{"apache-siege-100", 15, serverProfile{Handlers: 64, Requests: 40000, Service: 900 * sim.Microsecond, CV: 0.6, OpenLoop: true, ArrivalFactor: 0.9}},
+	{"nginx-200", 15, serverProfile{Handlers: 32, Requests: 60000, Service: 500 * sim.Microsecond, CV: 0.4, Pause: 300 * sim.Microsecond, PauseCV: 0.5}},
+	{"nodejs", 12, serverProfile{Handlers: 4, Requests: 8000, Service: 4 * msec, CV: 0.5, Pause: 800 * sim.Microsecond}},
+	{"php", 12, serverProfile{Handlers: 8, Requests: 9000, Service: 3 * msec, CV: 0.5, Pause: 800 * sim.Microsecond}},
+	// Key-value stores: client-driven requests with fsync-style pauses —
+	// the blinker pattern where keeping the core warm pays most.
+	{"leveldb", 15, serverProfile{Handlers: 2, Requests: 4000, Service: 1500 * sim.Microsecond, CV: 0.4, Pause: 5 * msec, PauseCV: 1.3}},
+	{"redis", 14, serverProfile{Handlers: 2, Requests: 9000, Service: 800 * sim.Microsecond, CV: 0.4, Pause: 1800 * sim.Microsecond, PauseCV: 0.9}},
+	{"rocksdb-randread", 14, serverProfile{Handlers: 32, Requests: 40000, Service: 1500 * sim.Microsecond, CV: 0.3}},
+	{"perl", 12, serverProfile{Handlers: 1, Requests: 1500, Service: 2500 * sim.Microsecond, CV: 0.5, Pause: 6 * msec, PauseCV: 1.3}},
+}
+
+// ServerNames lists the server tests.
+func ServerNames() []string {
+	out := make([]string, len(serverTests))
+	for i, t := range serverTests {
+		out[i] = t.name
+	}
+	return out
+}
+
+func init() {
+	for _, t := range serverTests {
+		t := t
+		register(&Workload{
+			Name:         "server/" + t.name,
+			Suite:        "server",
+			PaperSeconds: t.secs,
+			Install: func(m *cpu.Machine, scale float64) {
+				t.prof.install(m, scale)
+			},
+		})
+	}
+}

@@ -1,0 +1,63 @@
+package nestsim_test
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/nestsim"
+)
+
+// The minimal flow: build a machine, run a task program, read the
+// measurements.
+func Example() {
+	m := nestsim.NewMachine(nestsim.Xeon5218, nestsim.Nest(), nestsim.Schedutil, 42)
+	m.Spawn("worker", nestsim.Script(
+		nestsim.Compute(m.NominalCycles(10*time.Millisecond)),
+	))
+	res := m.Run(time.Second)
+	fmt.Println("completed:", res.Counters.Forks == 1)
+	// Output: completed: true
+}
+
+// Comparing schedulers on a registered paper workload.
+func ExampleExperiment() {
+	run := func(sched string) float64 {
+		res, err := nestsim.Experiment(nestsim.Config{
+			Machine: nestsim.Xeon5218, Scheduler: sched,
+			Governor: nestsim.Schedutil, Workload: "configure/gcc",
+			Scale: 0.02, Seed: 1,
+		})
+		if err != nil {
+			panic(err)
+		}
+		return res.Runtime.Seconds()
+	}
+	s := nestsim.Speedup(run("cfs"), run("nest"))
+	fmt.Println("nest faster:", s > 0)
+	// Output: nest faster: true
+}
+
+// Defining a workload from JSON instead of Go.
+func ExampleRegisterCustomWorkload() {
+	spec := `{"name":"example-app","groups":[
+	  {"name":"w","count":4,"iterations":20,"compute_us":800,"sleep_us":2000}
+	]}`
+	name, err := nestsim.RegisterCustomWorkload(strings.NewReader(spec))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(name)
+	// Output: custom/example-app
+}
+
+// Ablating a Nest feature through the typed config.
+func ExampleNestWith() {
+	cfg := nestsim.DefaultNestConfig()
+	cfg.DisableSpin = true
+	m := nestsim.NewMachine(nestsim.Xeon6130x2, nestsim.NestWith(cfg), nestsim.Schedutil, 7)
+	m.Spawn("t", nestsim.Script(nestsim.Compute(m.NominalCycles(time.Millisecond))))
+	res := m.Run(time.Second)
+	fmt.Println("spun:", res.Counters.SpinTicksTotal > 0)
+	// Output: spun: false
+}
