@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -27,6 +28,7 @@ func main() {
 		seed     = flag.Uint64("seed", 1, "base RNG seed")
 		machines = flag.String("machines", "", "comma-separated machine presets (default: experiment's own)")
 		format   = flag.String("format", "text", "output format: text, csv or json")
+		events   = flag.String("events", "", "stream decision events (first run of each cell) as JSONL to this file")
 	)
 	flag.Parse()
 
@@ -41,6 +43,18 @@ func main() {
 	opt := experiments.Options{Scale: *scale, Runs: *runs, Seed: *seed}
 	if *machines != "" {
 		opt.Machines = strings.Split(*machines, ",")
+	}
+	var jsonl *obs.JSONLRecorder
+	var eventsF *os.File
+	if *events != "" {
+		f, err := os.Create(*events)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		eventsF = f
+		jsonl = obs.NewJSONL(f)
+		opt.Obs = obs.New(jsonl)
 	}
 
 	ids := []string{*runID}
@@ -74,5 +88,16 @@ func main() {
 			rep.Render(os.Stdout)
 			fmt.Printf("(%s finished in %.1fs wall)\n\n", id, time.Since(start).Seconds())
 		}
+	}
+	if jsonl != nil {
+		err := jsonl.Flush()
+		if cerr := eventsF.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %d events to %s\n", jsonl.Lines(), *events)
 	}
 }

@@ -8,17 +8,24 @@
 // Compare schedulers directly:
 //
 //	nestsim -machine 5218 -workload configure/llvm_ninja -compare
+//
+// Observability (see docs/OBSERVABILITY.md): -explain summarises the
+// run's placement decisions, -counters dumps the counter registry,
+// -events streams JSONL events, -prom writes Prometheus text exposition,
+// and -chrometrace exports a decision-annotated Perfetto trace.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"text/tabwriter"
 
 	"repro/internal/experiments"
 	"repro/internal/machine"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/textplot"
 	"repro/internal/workload"
@@ -37,7 +44,11 @@ func main() {
 		compare     = flag.Bool("compare", false, "run the four paper configurations and print speedups")
 		traceMS     = flag.Int("trace", 0, "render an ASCII core trace of the first N milliseconds")
 		customPath  = flag.String("custom", "", "register a custom workload from a JSON spec file (see internal/workload.CustomSpec)")
-		chromeOut   = flag.String("chrometrace", "", "write a Chrome/Perfetto trace of one run to this file")
+		chromeOut   = flag.String("chrometrace", "", "write a decision-annotated Chrome/Perfetto trace to this file (with -runs > 1, only the first run is traced)")
+		eventsOut   = flag.String("events", "", "stream decision events as JSONL to this file (first run only)")
+		countersOn  = flag.Bool("counters", false, "print the run's counter registry (first run only)")
+		explainOn   = flag.Bool("explain", false, "print a placement-path/scan-cost/nest-size summary (first run only)")
+		promOut     = flag.String("prom", "", "write the counter registry in Prometheus text exposition to this file")
 	)
 	flag.Parse()
 
@@ -77,13 +88,6 @@ func main() {
 		Machine: *machineName, Scheduler: *schedName, Governor: *govName,
 		Workload: *wlName, Scale: *scale, Seed: *seed,
 	}
-	if *chromeOut != "" {
-		if err := runChromeTrace(rs, *chromeOut); err != nil {
-			fmt.Fprintln(os.Stderr, "nestsim:", err)
-			os.Exit(1)
-		}
-		return
-	}
 	if *traceMS > 0 {
 		if err := runTraced(rs, *traceMS); err != nil {
 			fmt.Fprintln(os.Stderr, "nestsim:", err)
@@ -91,35 +95,123 @@ func main() {
 		}
 		return
 	}
-	results, err := experiments.RunRepeats(rs, *runs)
-	if err != nil {
+	if err := runMain(rs, *runs, *chromeOut, *eventsOut, *promOut, *countersOn, *explainOn); err != nil {
 		fmt.Fprintln(os.Stderr, "nestsim:", err)
 		os.Exit(1)
 	}
-	printResults(rs, results)
 }
 
-// runChromeTrace executes one run recording a Perfetto-compatible
-// timeline.
-func runChromeTrace(rs experiments.RunSpec, path string) error {
-	tl := metrics.NewTimeline(2_000_000)
-	rs.Timeline = tl
-	res, err := experiments.Run(rs)
+// runMain executes the standard flow: N runs, the first carrying any
+// requested observers (events, explain, chrome trace, counters).
+func runMain(rs experiments.RunSpec, runs int, chromeOut, eventsOut, promOut string, countersOn, explainOn bool) error {
+	var recs []obs.Recorder
+	var jsonl *obs.JSONLRecorder
+	var eventsF *os.File
+	if eventsOut != "" {
+		f, err := os.Create(eventsOut)
+		if err != nil {
+			return err
+		}
+		eventsF = f
+		jsonl = obs.NewJSONL(f)
+		recs = append(recs, jsonl)
+	}
+	var explain *obs.Explain
+	if explainOn {
+		explain = obs.NewExplain()
+		recs = append(recs, explain)
+	}
+	var tl *metrics.Timeline
+	if chromeOut != "" {
+		tl = metrics.NewTimeline(2_000_000)
+		tl.ProcessName = rs.Workload + " on " + rs.Machine +
+			" (" + rs.Scheduler + "-" + rs.Governor + ")"
+		recs = append(recs, obs.NewTimelineRecorder(tl))
+		rs.Timeline = tl
+	}
+	if len(recs) > 0 || countersOn || promOut != "" {
+		rs.Obs = obs.New(recs...)
+	}
+
+	results, err := experiments.RunRepeats(rs, runs)
 	if err != nil {
 		return err
 	}
-	f, err := os.Create(path)
-	if err != nil {
-		return err
+	printResults(rs, results)
+
+	if explain != nil {
+		fmt.Println()
+		explain.WriteTo(os.Stdout)
 	}
-	defer f.Close()
-	if err := tl.WriteChromeTrace(f); err != nil {
-		return err
+	if countersOn {
+		fmt.Println()
+		printCounters(results[0].Stats)
 	}
-	fmt.Printf("wrote %d slices (%d dropped) for a %v run to %s\n",
-		len(tl.Slices), tl.Dropped(), res.Runtime, path)
-	fmt.Println("open in ui.perfetto.dev or chrome://tracing")
+	if promOut != "" {
+		f, err := os.Create(promOut)
+		if err != nil {
+			return err
+		}
+		err = obs.WritePrometheus(f, rs.Obs.Counters(), map[string]string{
+			"machine": rs.Machine, "sched": rs.Scheduler,
+			"gov": rs.Governor, "workload": rs.Workload,
+		})
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Printf("wrote counter exposition to %s\n", promOut)
+	}
+	if jsonl != nil {
+		err := jsonl.Flush()
+		if cerr := eventsF.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Printf("wrote %d events to %s\n", jsonl.Lines(), eventsOut)
+	}
+	if tl != nil {
+		f, err := os.Create(chromeOut)
+		if err != nil {
+			return err
+		}
+		err = tl.WriteChromeTrace(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return err
+		}
+		noun := "the run"
+		if runs > 1 {
+			noun = fmt.Sprintf("the first of %d runs", runs)
+		}
+		fmt.Printf("wrote %d slices, %d decision markers (%d dropped) for %s to %s\n",
+			len(tl.Slices), len(tl.Instants), tl.Dropped(), noun, chromeOut)
+		fmt.Println("open in ui.perfetto.dev or chrome://tracing")
+	}
 	return nil
+}
+
+// printCounters dumps the counter registry sorted by name.
+func printCounters(stats *metrics.RunStats) {
+	if stats == nil {
+		fmt.Println("no counters recorded")
+		return
+	}
+	names := make([]string, 0, len(stats.Counters))
+	for n := range stats.Counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	fmt.Printf("counters (%d events recorded):\n", stats.Events)
+	for _, n := range names {
+		fmt.Printf("  %-28s %d\n", n, stats.Counters[n])
+	}
 }
 
 // runTraced executes one run with a trace window and renders it.

@@ -18,6 +18,7 @@ package cfs
 
 import (
 	"repro/internal/machine"
+	"repro/internal/obs"
 	"repro/internal/proc"
 	"repro/internal/sched"
 	"repro/internal/sim"
@@ -162,17 +163,41 @@ func (p *Policy) SelectCoreFork(m sched.Machine, parent, child *proc.Task, paren
 	}
 
 	// SMT level: the emptier hardware thread.
+	chosen, path := bestA, "idlest_group"
 	if bestB != bestA && m.LoadAvg(bestB) < m.LoadAvg(bestA) {
-		return bestB
+		chosen, path = bestB, "idlest_smt"
 	}
-	return bestA
+	if h := m.Obs(); h.Enabled() {
+		reason := ""
+		if bestSock != home {
+			reason = "numa_spill"
+		}
+		h.Emit(obs.PlacementDecision{
+			T: m.Now(), Sched: p.Name(), Task: int(child.ID), TaskName: child.Name,
+			Core: int(chosen), Path: path, Scanned: examined, Reason: reason, Fork: true,
+		})
+	}
+	return chosen
 }
 
 // SelectCoreWakeup implements the wakeup path (§2.1).
 func (p *Policy) SelectCoreWakeup(m sched.Machine, t *proc.Task, wakerCore machine.CoreID, sync bool) machine.CoreID {
-	topo := m.Topo()
 	examined := 0
-	defer func() { m.ChargeSearch(examined, p.cfg.FixedCost) }()
+	chosen, path, reason := p.wakeupChoose(m, t, wakerCore, sync, &examined)
+	m.ChargeSearch(examined, p.cfg.FixedCost)
+	if h := m.Obs(); h.Enabled() {
+		h.Emit(obs.PlacementDecision{
+			T: m.Now(), Sched: p.Name(), Task: int(t.ID), TaskName: t.Name,
+			Core: int(chosen), Path: path, Scanned: examined, Reason: reason,
+		})
+	}
+	return chosen
+}
+
+// wakeupChoose performs the wakeup search and names the heuristic path
+// that produced the choice (for the observability layer).
+func (p *Policy) wakeupChoose(m sched.Machine, t *proc.Task, wakerCore machine.CoreID, sync bool, examined *int) (machine.CoreID, string, string) {
+	topo := m.Topo()
 
 	prev := t.Last
 	if prev == proc.NoCore {
@@ -180,39 +205,39 @@ func (p *Policy) SelectCoreWakeup(m sched.Machine, t *proc.Task, wakerCore machi
 	}
 
 	// Choose the target between the previous core and the waker's core.
-	target := prev
-	examined++
+	target, targetPath := prev, "prev"
+	*examined++
 	if !p.idle(m, prev) {
 		if sync && p.cfg.SyncAffine && m.QueueLen(wakerCore) <= 1 {
 			// Synchronous handoff: the waker is about to block.
-			target = wakerCore
+			target, targetPath = wakerCore, "sync_affine"
 		} else {
 			loads := m.SocketLoads()
 			ps, ws := topo.Socket(prev), topo.Socket(wakerCore)
 			if ps != ws && loads[ps] > loads[ws]+1 {
 				// wake_affine: pull toward the waker's less-loaded die.
-				target = wakerCore
+				target, targetPath = wakerCore, "wake_affine"
 			}
 		}
 	}
 
 	if p.idle(m, target) {
-		return target
+		return target, targetPath, ""
 	}
 	die := topo.Socket(target)
 	if topo.Socket(prev) == die && p.idle(m, prev) {
-		return prev
+		return prev, "prev", ""
 	}
 
 	// select_idle_core: a physical core with both hardware threads idle.
 	scan := topo.ScanFrom(die, target)
 	for _, c := range scan {
-		examined++
+		*examined++
 		if c == target {
 			continue
 		}
 		if p.idle(m, c) && p.idle(m, topo.Sibling(c)) {
-			return c
+			return c, "idle_core", ""
 		}
 	}
 
@@ -223,9 +248,9 @@ func (p *Policy) SelectCoreWakeup(m sched.Machine, t *proc.Task, wakerCore machi
 			break
 		}
 		limit--
-		examined++
+		*examined++
 		if c != target && p.idle(m, c) {
-			return c
+			return c, "scan", ""
 		}
 	}
 
@@ -235,9 +260,13 @@ func (p *Policy) SelectCoreWakeup(m sched.Machine, t *proc.Task, wakerCore machi
 	if p.cfg.WorkConservingWakeup {
 		for _, s := range topo.SocketOrder(target) {
 			for _, c := range topo.ScanFrom(s, target) {
-				examined++
+				*examined++
 				if c != target && p.idle(m, c) {
-					return c
+					reason := ""
+					if s != die {
+						reason = "die_spill"
+					}
+					return c, "work_conserve", reason
 				}
 			}
 		}
@@ -245,10 +274,10 @@ func (p *Policy) SelectCoreWakeup(m sched.Machine, t *proc.Task, wakerCore machi
 
 	// The target's hyperthread, then the target itself.
 	if sib := topo.Sibling(target); sib != target {
-		examined++
+		*examined++
 		if p.idle(m, sib) {
-			return sib
+			return sib, "sibling", ""
 		}
 	}
-	return target
+	return target, "target_fallback", "no_idle"
 }

@@ -14,6 +14,7 @@ package core
 import (
 	"repro/internal/cfs"
 	"repro/internal/machine"
+	"repro/internal/obs"
 	"repro/internal/proc"
 	"repro/internal/sched"
 	"repro/internal/sim"
@@ -67,6 +68,7 @@ type Policy struct {
 	cfg  Config
 	cfs  *cfs.Policy
 	init bool
+	h    *obs.Hub // cached from the machine in ensure; nil-safe
 
 	inPrimary []bool
 	lastUsed  []sim.Time
@@ -163,13 +165,14 @@ func (p *Policy) ensure(m sched.Machine, ref machine.CoreID) {
 		p.evicted = make([]bool, n)
 		p.init = true
 	}
+	p.h = m.Obs()
 	if !p.haveStart {
 		p.startCore = ref
 		p.haveStart = true
 	}
 }
 
-func (p *Policy) addPrimary(c machine.CoreID, now sim.Time) {
+func (p *Policy) addPrimary(c machine.CoreID, now sim.Time, reason string) {
 	p.evicted[c] = false
 	if p.inPrimary[c] {
 		p.lastUsed[c] = now
@@ -182,22 +185,36 @@ func (p *Policy) addPrimary(c machine.CoreID, now sim.Time) {
 	p.inPrimary[c] = true
 	p.lastUsed[c] = now
 	p.nPrimary++
+	if h := p.h; h.Enabled() {
+		h.Emit(obs.NestExpand{
+			T: now, Core: int(c), Primary: p.nPrimary, Reserve: p.nReserve,
+			Reason: reason,
+		})
+	}
 }
 
 // demote moves a primary core to the reserve nest, or drops it entirely
 // when the reserve is full (§3.1).
-func (p *Policy) demote(c machine.CoreID) {
+func (p *Policy) demote(c machine.CoreID, now sim.Time, reason string) {
 	if !p.inPrimary[c] {
 		return
 	}
 	p.inPrimary[c] = false
 	p.nPrimary--
+	to := "evicted"
 	if !p.cfg.DisableReserve && p.nReserve < p.cfg.RMax && !p.inReserve[c] {
 		p.inReserve[c] = true
 		p.nReserve++
-		return
+		to = "reserve"
+	} else {
+		p.evicted[c] = true
 	}
-	p.evicted[c] = true
+	if h := p.h; h.Enabled() {
+		h.Emit(obs.NestCompact{
+			T: now, Core: int(c), Primary: p.nPrimary, Reserve: p.nReserve,
+			To: to, Reason: reason,
+		})
+	}
 }
 
 func (p *Policy) addReserve(c machine.CoreID) {
@@ -207,6 +224,7 @@ func (p *Policy) addReserve(c machine.CoreID) {
 	p.evicted[c] = false
 	p.inReserve[c] = true
 	p.nReserve++
+	p.h.Count("nest.reserve_add", 1)
 }
 
 // usable reports whether an idle core can receive a placement, honouring
@@ -238,7 +256,7 @@ func (p *Policy) searchPrimary(m sched.Machine, ref machine.CoreID, examined *in
 			}
 			if !p.cfg.DisableCompaction && now-p.lastUsed[c] > p.cfg.PRemove {
 				// Compaction: a task tried to use a stale core (§3.1).
-				p.demote(c)
+				p.demote(c, now, "idle_timeout")
 				continue
 			}
 			p.lastUsed[c] = now
@@ -266,10 +284,23 @@ func (p *Policy) searchReserve(m sched.Machine, ref machine.CoreID, examined *in
 	return 0, false
 }
 
+// emitPlacement records a Nest placement decision. Kept out of line so
+// selectCore's hot path only pays the Enabled check; event construction
+// (which boxes into the Event interface) happens solely when a recorder
+// or counter registry is attached.
+func (p *Policy) emitPlacement(m sched.Machine, t *proc.Task, c machine.CoreID, path, reason string, scanned int, fork bool) {
+	if h := p.h; h.Enabled() {
+		h.Emit(obs.PlacementDecision{
+			T: m.Now(), Sched: p.Name(), Task: int(t.ID), TaskName: t.Name,
+			Core: int(c), Path: path, Scanned: scanned, Reason: reason, Fork: fork,
+		})
+	}
+}
+
 // selectCore is the Figure 1 search path shared by fork and wakeup. ref
 // is the task's previous core (the parent's core for a fork); fallback
 // performs the CFS selection if both nests fail.
-func (p *Policy) selectCore(m sched.Machine, t *proc.Task, ref machine.CoreID, fallback func() machine.CoreID) machine.CoreID {
+func (p *Policy) selectCore(m sched.Machine, t *proc.Task, ref machine.CoreID, fork bool, fallback func() machine.CoreID) machine.CoreID {
 	p.ensure(m, ref)
 	now := m.Now()
 	examined := 0
@@ -282,6 +313,7 @@ func (p *Policy) selectCore(m sched.Machine, t *proc.Task, ref machine.CoreID, f
 		examined++
 		if p.inPrimary[c] && p.usable(m, c) {
 			p.lastUsed[c] = now
+			p.emitPlacement(m, t, c, "attached", "", examined, fork)
 			return c
 		}
 	}
@@ -298,11 +330,14 @@ func (p *Policy) selectCore(m sched.Machine, t *proc.Task, ref machine.CoreID, f
 		c := t.Last
 		examined++
 		if (p.inPrimary[c] || p.inReserve[c]) && p.usable(m, c) {
+			reason := "primary"
 			if p.inPrimary[c] {
 				p.lastUsed[c] = now
 			} else {
-				p.addPrimary(c, now)
+				reason = "reserve_promoted"
+				p.addPrimary(c, now, "prev_promote")
 			}
+			p.emitPlacement(m, t, c, "prev", reason, examined, fork)
 			return c
 		}
 	}
@@ -312,6 +347,7 @@ func (p *Policy) selectCore(m sched.Machine, t *proc.Task, ref machine.CoreID, f
 
 	if !impatient {
 		if c, ok := p.searchPrimary(m, ref, &examined); ok {
+			p.emitPlacement(m, t, c, "primary", "", examined, fork)
 			return c
 		}
 	}
@@ -319,30 +355,39 @@ func (p *Policy) selectCore(m sched.Machine, t *proc.Task, ref machine.CoreID, f
 	if c, ok := p.searchReserve(m, ref, &examined); ok {
 		// Promotion (§3.1); an impatient task's pick grows the primary
 		// nest and resets its counter.
-		p.addPrimary(c, now)
+		reason := "promoted"
 		if impatient {
+			reason = "impatient"
 			td.impatience = 0
+			p.addPrimary(c, now, "impatient")
+		} else {
+			p.addPrimary(c, now, "promote")
 		}
+		p.emitPlacement(m, t, c, "reserve", reason, examined, fork)
 		return c
 	}
 
 	c := fallback()
+	reason := "probation"
 	if impatient {
-		p.addPrimary(c, now)
+		reason = "impatient_expand"
+		p.addPrimary(c, now, "impatient")
 		td.impatience = 0
 	} else if p.cfg.DisableReserve {
 		// Ablation: without a probation nest, CFS picks join the primary
 		// directly, letting it balloon — the degradation §5.2 reports.
-		p.addPrimary(c, now)
+		reason = "direct"
+		p.addPrimary(c, now, "direct")
 	} else if !p.inPrimary[c] {
 		p.addReserve(c)
 	}
+	p.emitPlacement(m, t, c, "fallback", reason, examined, fork)
 	return c
 }
 
 // SelectCoreFork implements sched.Policy.
 func (p *Policy) SelectCoreFork(m sched.Machine, parent, child *proc.Task, parentCore machine.CoreID) machine.CoreID {
-	return p.selectCore(m, child, parentCore, func() machine.CoreID {
+	return p.selectCore(m, child, parentCore, true, func() machine.CoreID {
 		return p.cfs.SelectCoreFork(m, parent, child, parentCore)
 	})
 }
@@ -355,15 +400,24 @@ func (p *Policy) SelectCoreWakeup(m sched.Machine, t *proc.Task, wakerCore machi
 	if ref == proc.NoCore {
 		ref = wakerCore
 	}
+	p.ensure(m, ref)
 	if !p.cfg.DisableImpatience && t.Last != proc.NoCore {
 		td := dataOf(t)
 		if m.IsIdle(t.Last) {
 			td.impatience = 0
 		} else {
 			td.impatience++
+			if td.impatience == p.cfg.RImpatient {
+				if h := p.h; h.Enabled() {
+					h.Emit(obs.ImpatienceTrip{
+						T: m.Now(), Task: int(t.ID), TaskName: t.Name,
+						Count: td.impatience,
+					})
+				}
+			}
 		}
 	}
-	return p.selectCore(m, t, ref, func() machine.CoreID {
+	return p.selectCore(m, t, ref, false, func() machine.CoreID {
 		return p.cfs.SelectCoreWakeup(m, t, wakerCore, sync)
 	})
 }
@@ -390,7 +444,7 @@ func (p *Policy) Blocked(m sched.Machine, t *proc.Task, c machine.CoreID) {
 func (p *Policy) Exited(m sched.Machine, t *proc.Task, c machine.CoreID, coreIdle bool) {
 	p.ensure(m, c)
 	if coreIdle && p.inPrimary[c] {
-		p.demote(c)
+		p.demote(c, m.Now(), "exit")
 	}
 }
 

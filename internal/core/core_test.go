@@ -49,8 +49,8 @@ func TestPrimarySearchIgnoresLoadAverage(t *testing.T) {
 	now := sim.Time(100 * sim.Millisecond)
 	f.NowV = now
 	p.ensure(f, 0)
-	p.addPrimary(3, now) // recently used, still warm
-	f.Load[3] = 0.95     // high residual load
+	p.addPrimary(3, now, "test") // recently used, still warm
+	f.Load[3] = 0.95             // high residual load
 	got := p.SelectCoreWakeup(f, schedtest.NewTask(1, 3, proc.NoCore), 0, false)
 	if got != 3 {
 		t.Fatalf("nest skipped warm core 3 (got %d)", got)
@@ -63,8 +63,8 @@ func TestAttachedCoreFirstChoice(t *testing.T) {
 	p := Default()
 	f.NowV = 50 * sim.Millisecond
 	p.ensure(f, 0)
-	p.addPrimary(2, f.NowV)
-	p.addPrimary(9, f.NowV)
+	p.addPrimary(2, f.NowV, "test")
+	p.addPrimary(9, f.NowV, "test")
 	// Task attached to core 9 (two executions there); search from ref 0
 	// would find core 2 first, but attachment wins.
 	task := schedtest.NewTask(1, 9, 9)
@@ -81,7 +81,7 @@ func TestAttachedReclaimsCompactionEligibleCore(t *testing.T) {
 	f := schedtest.NewFake(spec)
 	p := Default()
 	p.ensure(f, 0)
-	p.addPrimary(9, 0)
+	p.addPrimary(9, 0, "test")
 	f.NowV = 100 * sim.Millisecond // far past PRemove
 	task := schedtest.NewTask(1, 9, 9)
 	got := p.SelectCoreWakeup(f, task, 0, false)
@@ -97,8 +97,8 @@ func TestCompactionDemotesStaleCore(t *testing.T) {
 	f := schedtest.NewFake(spec)
 	p := Default()
 	p.ensure(f, 0)
-	p.addPrimary(3, 0)                  // stale
-	p.addPrimary(7, 99*sim.Millisecond) // fresh
+	p.addPrimary(3, 0, "test")                  // stale
+	p.addPrimary(7, 99*sim.Millisecond, "test") // fresh
 	f.NowV = 100 * sim.Millisecond
 	task := schedtest.NewTask(1, proc.NoCore, proc.NoCore)
 	got := p.SelectCoreWakeup(f, task, 0, false)
@@ -120,7 +120,7 @@ func TestCompactionDisabled(t *testing.T) {
 	spec := spec5218()
 	f := schedtest.NewFake(spec)
 	p.ensure(f, 0)
-	p.addPrimary(3, 0)
+	p.addPrimary(3, 0, "test")
 	f.NowV = 100 * sim.Millisecond
 	got := p.SelectCoreWakeup(f, schedtest.NewTask(1, proc.NoCore, proc.NoCore), 0, false)
 	if got != 3 {
@@ -136,7 +136,7 @@ func TestExitDemotesIdleCore(t *testing.T) {
 	f := schedtest.NewFake(spec)
 	p := Default()
 	p.ensure(f, 0)
-	p.addPrimary(5, 0)
+	p.addPrimary(5, 0, "test")
 	task := schedtest.NewTask(1, 5, 5)
 	p.Exited(f, task, 5, true)
 	if p.InPrimary(5) {
@@ -146,7 +146,7 @@ func TestExitDemotesIdleCore(t *testing.T) {
 		t.Fatal("exited core not demoted to reserve")
 	}
 	// Not demoted when other work remains on the core.
-	p.addPrimary(6, 0)
+	p.addPrimary(6, 0, "test")
 	p.Exited(f, task, 6, false)
 	if !p.InPrimary(6) {
 		t.Fatal("core demoted although it was not idle")
@@ -159,10 +159,10 @@ func TestReserveBounded(t *testing.T) {
 	p := Default()
 	p.ensure(f, 0)
 	for c := machine.CoreID(0); c < 10; c++ {
-		p.addPrimary(c, 0)
+		p.addPrimary(c, 0, "test")
 	}
 	for c := machine.CoreID(0); c < 10; c++ {
-		p.demote(c)
+		p.demote(c, 0, "test")
 	}
 	if p.ReserveSize() != p.Config().RMax {
 		t.Fatalf("reserve size = %d, want RMax = %d", p.ReserveSize(), p.Config().RMax)
@@ -186,7 +186,7 @@ func TestImpatienceExpandsNest(t *testing.T) {
 	p.ensure(f, 0)
 	// Primary has one core, busy: a waking task keeps finding its prev
 	// core occupied.
-	p.addPrimary(2, 0)
+	p.addPrimary(2, 0, "test")
 	f.SetBusy(2, 1.0)
 	task := schedtest.NewTask(1, 2, proc.NoCore)
 
@@ -219,8 +219,8 @@ func TestClaimedCoreSkipped(t *testing.T) {
 	f := schedtest.NewFake(spec)
 	p := Default()
 	p.ensure(f, 0)
-	p.addPrimary(2, 0)
-	p.addPrimary(3, 0)
+	p.addPrimary(2, 0, "test")
+	p.addPrimary(3, 0, "test")
 	f.NowV = sim.Millisecond
 	p.lastUsed[2] = f.NowV
 	p.lastUsed[3] = f.NowV
@@ -241,7 +241,7 @@ func TestClaimCheckDisabled(t *testing.T) {
 	spec := spec5218()
 	f := schedtest.NewFake(spec)
 	p.ensure(f, 0)
-	p.addPrimary(2, 0)
+	p.addPrimary(2, 0, "test")
 	f.NowV = sim.Millisecond
 	p.lastUsed[2] = f.NowV
 	f.ClaimedV[2] = true
@@ -256,7 +256,7 @@ func TestIdleSpinOnlyOnPrimaryCores(t *testing.T) {
 	f := schedtest.NewFake(spec)
 	p := Default()
 	p.ensure(f, 0)
-	p.addPrimary(4, 0)
+	p.addPrimary(4, 0, "test")
 	if d := p.IdleSpin(f, 4); d != p.Config().SMax {
 		t.Fatalf("primary core spin = %v, want %v", d, p.Config().SMax)
 	}
@@ -267,7 +267,7 @@ func TestIdleSpinOnlyOnPrimaryCores(t *testing.T) {
 	cfg.DisableSpin = true
 	p2 := New(cfg)
 	p2.ensure(f, 0)
-	p2.addPrimary(4, 0)
+	p2.addPrimary(4, 0, "test")
 	if d := p2.IdleSpin(f, 4); d != 0 {
 		t.Fatal("DisableSpin ignored")
 	}
@@ -280,8 +280,8 @@ func TestSameDiePreferredInPrimarySearch(t *testing.T) {
 	p.ensure(f, 0)
 	f.NowV = sim.Millisecond
 	// Primary cores on both sockets, all fresh and idle.
-	p.addPrimary(40, f.NowV)                     // socket 1
-	p.addPrimary(10, f.NowV)                     // socket 0
+	p.addPrimary(40, f.NowV, "test")             // socket 1
+	p.addPrimary(10, f.NowV, "test")             // socket 0
 	task := schedtest.NewTask(1, 8, proc.NoCore) // prev on socket 0
 	f.SetBusy(8, 1.0)                            // prev occupied: the nest search runs
 	got := p.SelectCoreWakeup(f, task, 8, false)
@@ -301,7 +301,7 @@ func TestPrevCoreFastPath(t *testing.T) {
 	p := Default()
 	p.ensure(f, 0)
 	f.NowV = sim.Millisecond
-	p.addPrimary(10, f.NowV)
+	p.addPrimary(10, f.NowV, "test")
 
 	outside := schedtest.NewTask(1, 20, proc.NoCore)
 	if got := p.SelectCoreWakeup(f, outside, 0, false); got != 10 {
@@ -341,8 +341,8 @@ func TestDisableAttach(t *testing.T) {
 	f := schedtest.NewFake(spec)
 	p.ensure(f, 0)
 	f.NowV = sim.Millisecond
-	p.addPrimary(2, f.NowV)
-	p.addPrimary(9, f.NowV)
+	p.addPrimary(2, f.NowV, "test")
+	p.addPrimary(9, f.NowV, "test")
 	task := schedtest.NewTask(1, 9, 9) // attached to 9
 	// Without attachment, the search starts from ref (prev = 9): the scan
 	// from core 9 wraps and still finds 9 first on its die... use a ref
@@ -363,7 +363,7 @@ func TestNestFallsBackToCFSWhenAllBusy(t *testing.T) {
 	f := schedtest.NewFake(spec)
 	p := Default()
 	p.ensure(f, 0)
-	p.addPrimary(2, 0)
+	p.addPrimary(2, 0, "test")
 	f.SetBusy(2, 1.0)
 	f.NowV = sim.Millisecond
 	p.lastUsed[2] = f.NowV

@@ -16,6 +16,7 @@ import (
 	"repro/internal/governor"
 	"repro/internal/machine"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/pelt"
 	"repro/internal/proc"
 	"repro/internal/sched"
@@ -113,6 +114,11 @@ type Config struct {
 	// export.
 	Timeline *metrics.Timeline
 
+	// Obs, when non-nil and enabled, receives decision events and counter
+	// updates from every layer (policies, runtime, frequency model). Nil
+	// keeps all instrumentation on the allocation-free fast path.
+	Obs *obs.Hub
+
 	// OnTaskExit, when non-nil, observes every task exit (for workload
 	// request-latency accounting).
 	OnTaskExit func(*proc.Task)
@@ -200,6 +206,7 @@ type Machine struct {
 	policy sched.Policy
 	fm     *freqmodel.Model
 	rng    *sim.Rand
+	obs    *obs.Hub
 
 	cores []coreState
 
@@ -252,7 +259,9 @@ func New(cfg Config) *Machine {
 		policy: cfg.Policy,
 		fm:     freqmodel.New(cfg.Spec),
 		rng:    sim.NewRand(cfg.Seed),
+		obs:    cfg.Obs,
 	}
+	m.fm.SetObs(cfg.Obs, m.eng.Now)
 	n := m.topo.NumCores()
 	m.cores = make([]coreState, n)
 	for i := range m.cores {
@@ -384,6 +393,12 @@ func (m *Machine) finalize() {
 	}
 	if m.tickIndex > 0 {
 		m.res.UnderloadAvg = m.res.Underload / float64(m.tickIndex)
+	}
+	if m.obs.Enabled() {
+		m.res.Stats = &metrics.RunStats{
+			Counters: m.obs.Snapshot(),
+			Events:   m.obs.Events(),
+		}
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 	"repro/internal/metrics"
 
 	"repro/internal/machine"
+	"repro/internal/obs"
 	"repro/internal/proc"
 	"repro/internal/sim"
 )
@@ -140,6 +141,12 @@ func (m *Machine) scheduleIn(c machine.CoreID) {
 	if t.Last != proc.NoCore && t.Last != c {
 		m.res.Counters.Migrations++
 		switchCost += m.cfg.Overheads.Migration
+		if h := m.obs; h.Enabled() {
+			h.Emit(obs.Migration{
+				T: now, Task: int(t.ID), TaskName: t.Name,
+				From: int(t.Last), To: int(c), Reason: "schedule_in",
+			})
+		}
 	}
 	m.chargeCycles(t, c, switchCost)
 
@@ -439,6 +446,12 @@ func (m *Machine) pickNext(c machine.CoreID) {
 			vs.queue = append(vs.queue[:idx], vs.queue[idx+1:]...)
 			m.curRunnable--
 			m.res.Counters.LoadBalances++
+			if h := m.obs; h.Enabled() {
+				h.Emit(obs.TickBalance{
+					T: now, From: int(victim), To: int(c),
+					Task: int(t.ID), TaskName: t.Name, Kind2: "newidle",
+				})
+			}
 			m.enqueue(t, c)
 			return
 		}

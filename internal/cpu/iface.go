@@ -5,6 +5,7 @@ package cpu
 
 import (
 	"repro/internal/machine"
+	"repro/internal/obs"
 	"repro/internal/proc"
 	"repro/internal/sim"
 )
@@ -20,6 +21,9 @@ func (m *Machine) Now() sim.Time { return m.eng.Now() }
 
 // Rand implements sched.Machine.
 func (m *Machine) Rand() *sim.Rand { return m.rng }
+
+// Obs implements sched.Machine.
+func (m *Machine) Obs() *obs.Hub { return m.obs }
 
 // IsIdle implements sched.Machine: no running task and nothing queued.
 // An idle-spinning core is still idle for placement.
@@ -111,6 +115,12 @@ func (m *Machine) MoveIfStillQueued(t *proc.Task, to machine.CoreID, d sim.Durat
 				cs.queue = append(cs.queue[:i], cs.queue[i+1:]...)
 				m.curRunnable--
 				m.res.Counters.Migrations++
+				if h := m.obs; h.Enabled() {
+					h.Emit(obs.Migration{
+						T: m.eng.Now(), Task: int(t.ID), TaskName: t.Name,
+						From: int(from), To: int(to), Reason: "smove_timer",
+					})
+				}
 				m.enqueue(t, to)
 				return
 			}

@@ -7,6 +7,7 @@ import (
 	nest "repro/internal/core"
 	"repro/internal/governor"
 	"repro/internal/machine"
+	"repro/internal/obs"
 	"repro/internal/proc"
 	"repro/internal/sched"
 	"repro/internal/sim"
@@ -29,12 +30,12 @@ func benchWorkload(m *Machine, spec *machine.Spec) {
 	}))
 }
 
-func benchPolicy(b *testing.B, mk func() sched.Policy) {
+func benchPolicy(b *testing.B, mk func() sched.Policy, hub *obs.Hub) {
 	spec := machine.IntelXeon6130(2)
 	b.ReportAllocs()
 	var events uint64
 	for i := 0; i < b.N; i++ {
-		m := New(Config{Spec: spec, Gov: governor.Schedutil{}, Policy: mk(), Seed: uint64(i + 1)})
+		m := New(Config{Spec: spec, Gov: governor.Schedutil{}, Policy: mk(), Seed: uint64(i + 1), Obs: hub})
 		benchWorkload(m, spec)
 		m.Run(0)
 		events += m.Engine().Steps()
@@ -46,12 +47,39 @@ func benchPolicy(b *testing.B, mk func() sched.Policy) {
 // BenchmarkRuntimeCFS measures end-to-end simulation throughput under
 // the CFS policy.
 func BenchmarkRuntimeCFS(b *testing.B) {
-	benchPolicy(b, func() sched.Policy { return cfs.Default() })
+	benchPolicy(b, func() sched.Policy { return cfs.Default() }, nil)
 }
 
 // BenchmarkRuntimeNest measures the same under Nest (longer searches).
 func BenchmarkRuntimeNest(b *testing.B) {
-	benchPolicy(b, func() sched.Policy { return nest.Default() })
+	benchPolicy(b, func() sched.Policy { return nest.Default() }, nil)
+}
+
+// BenchmarkRuntimeNestObsDisabled is BenchmarkRuntimeNest with a
+// disabled (sink-less) observability hub attached, for comparing the
+// Enabled() fast path against no hub at all.
+func BenchmarkRuntimeNestObsDisabled(b *testing.B) {
+	benchPolicy(b, func() sched.Policy { return nest.Default() }, obs.Disabled())
+}
+
+// TestDisabledRecorderAddsNoAllocs proves the observability layer's
+// zero-overhead claim: a full simulation run with a disabled hub
+// allocates exactly as much as one with no hub, because every emission
+// site constructs its event only inside an Obs().Enabled() guard.
+func TestDisabledRecorderAddsNoAllocs(t *testing.T) {
+	spec := machine.IntelXeon6130(2)
+	run := func(hub *obs.Hub) float64 {
+		return testing.AllocsPerRun(3, func() {
+			m := New(Config{Spec: spec, Gov: governor.Schedutil{}, Policy: nest.Default(), Seed: 1, Obs: hub})
+			benchWorkload(m, spec)
+			m.Run(0)
+		})
+	}
+	noHub := run(nil)
+	disabled := run(obs.Disabled())
+	if noHub != disabled {
+		t.Fatalf("disabled hub changes allocations: none=%v disabled=%v", noHub, disabled)
+	}
 }
 
 // BenchmarkEngineOnly measures the raw event engine.

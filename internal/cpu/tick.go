@@ -3,6 +3,7 @@ package cpu
 import (
 	"repro/internal/machine"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/proc"
 	"repro/internal/sim"
 )
@@ -104,6 +105,15 @@ func (m *Machine) freqAndAccountingPass(now sim.Time) {
 		m.accountProgress(cs.id) // at the outgoing frequency
 		util := cs.util.Value(now)
 		req := m.gov.Request(m.spec, util, active)
+		if active {
+			if h := m.obs; h.Enabled() {
+				h.Emit(obs.GovernorRequest{
+					T: now, Core: int(cs.id), Governor: m.gov.Name(), Util: util,
+					SuggestMHz: int(req.Suggestion), FloorMHz: int(req.Floor),
+					EnergyAware: req.EnergyAware,
+				})
+			}
+		}
 		sock := m.topo.Socket(cs.id)
 		f := m.fm.TickUpdate(cs.id, active, req, m.sockActive[sock], cs.hwUtil.Value(now))
 		if cs.cur != nil {
@@ -271,6 +281,12 @@ func (m *Machine) balancePass() {
 		vs.queue = append(vs.queue[:idx], vs.queue[idx+1:]...)
 		m.curRunnable-- // enqueue below re-adds
 		m.res.Counters.LoadBalances++
+		if h := m.obs; h.Enabled() {
+			h.Emit(obs.TickBalance{
+				T: m.eng.Now(), From: int(victim), To: int(cs.id),
+				Task: int(t.ID), TaskName: t.Name, Kind2: "periodic",
+			})
+		}
 		m.enqueue(t, cs.id)
 	}
 }

@@ -7,6 +7,7 @@ import (
 	"strings"
 
 	"repro/internal/metrics"
+	"repro/internal/obs"
 )
 
 // Options control how an experiment runs.
@@ -20,6 +21,9 @@ type Options struct {
 	// Machines restricts the machine list (presets); nil = experiment
 	// default.
 	Machines []string
+	// Obs, when non-nil, receives decision events from the first run of
+	// every measured cell (see RunRepeats for the first-run-only rule).
+	Obs *obs.Hub
 }
 
 func (o *Options) fill() {
@@ -207,6 +211,7 @@ func measure(machineName string, cfg config, wl string, opt Options) (*cell, err
 		Workload:  wl,
 		Scale:     opt.Scale,
 		Seed:      opt.Seed,
+		Obs:       opt.Obs,
 	}
 	results, err := RunRepeats(rs, opt.Runs)
 	if err != nil {

@@ -13,6 +13,7 @@ import (
 	"repro/internal/machine"
 	"repro/internal/metrics"
 	"repro/internal/naive"
+	"repro/internal/obs"
 	"repro/internal/sched"
 	"repro/internal/sim"
 	"repro/internal/smove"
@@ -120,7 +121,10 @@ type RunSpec struct {
 	Trace     *metrics.Trace
 	Series    *metrics.TimeSeries
 	Timeline  *metrics.Timeline
-	Limit     sim.Time // 0 = none
+	// Obs, when non-nil, receives decision events and counters from every
+	// layer of the run (see internal/obs and docs/OBSERVABILITY.md).
+	Obs   *obs.Hub
+	Limit sim.Time // 0 = none
 }
 
 // Run executes one configuration and returns its measurements.
@@ -150,6 +154,16 @@ func RunOnSpec(spec *machine.Spec, rs RunSpec) (*metrics.Result, error) {
 	if rs.Scale <= 0 {
 		rs.Scale = DefaultScale
 	}
+	if h := rs.Obs; h.Enabled() {
+		mname := rs.Machine
+		if mname == "" {
+			mname = spec.Topo.Name()
+		}
+		h.Emit(obs.RunInfo{
+			Machine: mname, Scheduler: rs.Scheduler, Governor: rs.Governor,
+			Workload: rs.Workload, Scale: rs.Scale, Seed: rs.Seed,
+		})
+	}
 	m := cpu.New(cpu.Config{
 		Spec:     spec,
 		Gov:      gov,
@@ -158,6 +172,7 @@ func RunOnSpec(spec *machine.Spec, rs RunSpec) (*metrics.Result, error) {
 		Trace:    rs.Trace,
 		Series:   rs.Series,
 		Timeline: rs.Timeline,
+		Obs:      rs.Obs,
 	})
 	w.Install(m, rs.Scale)
 	res := m.Run(rs.Limit)
@@ -170,12 +185,17 @@ func RunOnSpec(spec *machine.Spec, rs RunSpec) (*metrics.Result, error) {
 const DefaultScale = 0.04
 
 // RunRepeats executes n runs with consecutive seeds and returns all
-// results.
+// results. Observers (Trace, Series, Timeline, Obs) are attached to the
+// first run only: they are single-run collectors, and mixing the events
+// of several seeds into one stream or trace would be unreadable.
 func RunRepeats(rs RunSpec, n int) ([]*metrics.Result, error) {
 	out := make([]*metrics.Result, 0, n)
 	for i := 0; i < n; i++ {
 		r := rs
 		r.Seed = rs.Seed + uint64(i)
+		if i > 0 {
+			r.Trace, r.Series, r.Timeline, r.Obs = nil, nil, nil, nil
+		}
 		res, err := Run(r)
 		if err != nil {
 			return nil, err

@@ -22,6 +22,8 @@ package freqmodel
 import (
 	"repro/internal/governor"
 	"repro/internal/machine"
+	"repro/internal/obs"
+	"repro/internal/sim"
 )
 
 // rampRates returns the per-tick fractional approach toward the target
@@ -52,6 +54,29 @@ type Model struct {
 	cores []Core
 	up    float64
 	down  float64
+
+	// obs/now feed frequency-grant events to the observability layer.
+	// The model has no clock of its own, so the runtime injects one.
+	obs *obs.Hub
+	now func() sim.Time
+}
+
+// SetObs attaches an observability hub and a clock for event timestamps.
+// The model never emits without both.
+func (m *Model) SetObs(h *obs.Hub, now func() sim.Time) {
+	m.obs = h
+	m.now = now
+}
+
+// emitGrant records a frequency grant when observability is on.
+func (m *Model) emitGrant(c machine.CoreID, grant float64, activePhys int, reason string) {
+	if h := m.obs; h.Enabled() && m.now != nil {
+		h.Emit(obs.FreqGrant{
+			T: m.now(), Core: int(c), GrantMHz: int(grant + 0.5),
+			LimitMHz: int(m.spec.TurboLimit(activePhys)), ActivePhys: activePhys,
+			Reason: reason,
+		})
+	}
 }
 
 // New returns a model with every core parked at the machine minimum.
@@ -87,6 +112,7 @@ func (m *Model) Boost(c machine.CoreID, req governor.Request, activePhys int, hw
 	if target > cs.cur {
 		cs.cur += (target - cs.cur) * m.up * 0.8
 	}
+	m.emitGrant(c, target, activePhys, "boost")
 	return machine.FreqMHz(cs.cur + 0.5)
 }
 
@@ -167,6 +193,7 @@ func (m *Model) TickUpdate(c machine.CoreID, active bool, req governor.Request, 
 	var target float64
 	if active {
 		target = m.activeTarget(req, activePhys, hwUtil)
+		m.emitGrant(c, target, activePhys, "tick")
 	} else {
 		// Idle: clock decays toward the governor floor (performance
 		// keeps idle cores parked at nominal; schedutil lets them fall

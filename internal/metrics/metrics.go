@@ -145,6 +145,26 @@ type Counters struct {
 	SpinTicksTotal int64 // ticks spent idle-spinning across all cores
 }
 
+// RunStats carries the observability aggregates of one run: a snapshot
+// of the internal/obs counter registry (decision-path tallies, nest
+// expand/compact counts, migrations, ...) and the number of events that
+// flowed through the hub. Nil when the run had no observability hub.
+type RunStats struct {
+	// Counters maps dotted counter names (see docs/OBSERVABILITY.md) to
+	// their end-of-run values.
+	Counters map[string]int64
+	// Events is the total number of events recorded.
+	Events int64
+}
+
+// Counter returns the named counter's value (0 when absent or nil).
+func (s *RunStats) Counter(name string) int64 {
+	if s == nil {
+		return 0
+	}
+	return s.Counters[name]
+}
+
 // Result is everything measured in one run of one workload under one
 // scheduler/governor pair.
 type Result struct {
@@ -173,6 +193,8 @@ type Result struct {
 	Counters Counters
 	// WakeLatency records wakeup-to-run delays.
 	WakeLatency Latency
+	// Stats holds observability aggregates (nil without an obs hub).
+	Stats *RunStats
 	// Custom carries workload-specific metrics (throughput, ops/s).
 	Custom map[string]float64
 }

@@ -20,12 +20,34 @@ type Slice struct {
 	FreqMHz int
 }
 
-// Timeline records execution slices for export to the Chrome trace-event
-// format, viewable in Perfetto or chrome://tracing. A nil *Timeline is a
-// disabled recorder.
+// Instant is a zero-duration annotation pinned to a core — a scheduler
+// decision (placement, migration) worth a marker in the trace viewer.
+type Instant struct {
+	Name string
+	Core int
+	TS   sim.Time
+	Args map[string]any
+}
+
+// CounterSample is one sample of a named counter track (e.g. nest size),
+// rendered by trace viewers as a stacked area chart.
+type CounterSample struct {
+	Name   string
+	TS     sim.Time
+	Values map[string]float64
+}
+
+// Timeline records execution slices, instant annotations and counter
+// tracks for export to the Chrome trace-event format, viewable in
+// Perfetto or chrome://tracing. A nil *Timeline is a disabled recorder.
 type Timeline struct {
-	Slices []Slice
-	// Limit caps recorded slices to bound memory (0 = unlimited).
+	Slices   []Slice
+	Instants []Instant
+	Counters []CounterSample
+	// ProcessName labels the trace's single process row (defaults to
+	// "nest-sim" when empty).
+	ProcessName string
+	// Limit caps each recorded series to bound memory (0 = unlimited).
 	Limit   int
 	dropped int
 }
@@ -47,7 +69,31 @@ func (tl *Timeline) Add(s Slice) {
 	tl.Slices = append(tl.Slices, s)
 }
 
-// Dropped reports how many slices were discarded due to the cap.
+// AddInstant records one instant annotation. Nil-safe.
+func (tl *Timeline) AddInstant(i Instant) {
+	if tl == nil {
+		return
+	}
+	if tl.Limit > 0 && len(tl.Instants) >= tl.Limit {
+		tl.dropped++
+		return
+	}
+	tl.Instants = append(tl.Instants, i)
+}
+
+// AddCounterSample records one counter-track sample. Nil-safe.
+func (tl *Timeline) AddCounterSample(cs CounterSample) {
+	if tl == nil {
+		return
+	}
+	if tl.Limit > 0 && len(tl.Counters) >= tl.Limit {
+		tl.dropped++
+		return
+	}
+	tl.Counters = append(tl.Counters, cs)
+}
+
+// Dropped reports how many records were discarded due to the cap.
 func (tl *Timeline) Dropped() int {
 	if tl == nil {
 		return 0
@@ -55,7 +101,7 @@ func (tl *Timeline) Dropped() int {
 	return tl.dropped
 }
 
-// chromeEvent is one entry of the trace-event JSON array format.
+// chromeEvent is one entry of the trace-event format.
 type chromeEvent struct {
 	Name string         `json:"name"`
 	Ph   string         `json:"ph"`
@@ -63,15 +109,60 @@ type chromeEvent struct {
 	Dur  float64        `json:"dur"` // microseconds
 	PID  int            `json:"pid"`
 	TID  int            `json:"tid"`
+	S    string         `json:"s,omitempty"` // instant-event scope
 	Args map[string]any `json:"args,omitempty"`
 }
 
-// WriteChromeTrace emits the timeline in the Chrome trace-event "X"
-// (complete event) format: one row per core (tid = core), slices named
-// by task. Open the file in Perfetto (ui.perfetto.dev) or
+// chromeTrace is the trace-event JSON object format, which (unlike the
+// bare array) carries a display unit so Perfetto renders simulated
+// milliseconds rather than raw microsecond counts.
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChromeTrace emits the timeline in the Chrome trace-event format:
+// one row per core (tid = core), slices named by task ("X" events),
+// scheduler decisions as instants ("i"), nest size as counter tracks
+// ("C"), with process/thread name metadata so Perfetto labels cores
+// instead of bare tids. Open the file in Perfetto (ui.perfetto.dev) or
 // chrome://tracing.
 func (tl *Timeline) WriteChromeTrace(w io.Writer) error {
-	events := make([]chromeEvent, 0, len(tl.Slices)+1)
+	// Process and thread name metadata first: cores appear in the viewer
+	// as named, ordered threads of one named process.
+	procName := tl.ProcessName
+	if procName == "" {
+		procName = "nest-sim"
+	}
+	meta := []chromeEvent{{
+		Name: "process_name", Ph: "M", PID: 0,
+		Args: map[string]any{"name": procName},
+	}}
+	seen := map[int]bool{}
+	nameCore := func(c int) {
+		if seen[c] {
+			return
+		}
+		seen[c] = true
+		meta = append(meta,
+			chromeEvent{
+				Name: "thread_name", Ph: "M", PID: 0, TID: c,
+				Args: map[string]any{"name": fmt.Sprintf("core %d", c)},
+			},
+			chromeEvent{
+				Name: "thread_sort_index", Ph: "M", PID: 0, TID: c,
+				Args: map[string]any{"sort_index": c},
+			})
+	}
+	for _, s := range tl.Slices {
+		nameCore(s.Core)
+	}
+	for _, i := range tl.Instants {
+		nameCore(i.Core)
+	}
+
+	events := make([]chromeEvent, 0, len(meta)+len(tl.Slices)+len(tl.Instants)+len(tl.Counters))
+	events = append(events, meta...)
 	for _, s := range tl.Slices {
 		events = append(events, chromeEvent{
 			Name: s.Task,
@@ -86,19 +177,30 @@ func (tl *Timeline) WriteChromeTrace(w io.Writer) error {
 			},
 		})
 	}
-	// Name the "threads" (cores) for the viewer.
-	seen := map[int]bool{}
-	meta := make([]chromeEvent, 0)
-	for _, s := range tl.Slices {
-		if seen[s.Core] {
-			continue
+	for _, i := range tl.Instants {
+		events = append(events, chromeEvent{
+			Name: i.Name,
+			Ph:   "i",
+			TS:   float64(i.TS) / 1e3,
+			PID:  0,
+			TID:  i.Core,
+			S:    "t",
+			Args: i.Args,
+		})
+	}
+	for _, c := range tl.Counters {
+		args := make(map[string]any, len(c.Values))
+		for k, v := range c.Values {
+			args[k] = v
 		}
-		seen[s.Core] = true
-		meta = append(meta, chromeEvent{
-			Name: "thread_name", Ph: "M", PID: 0, TID: s.Core,
-			Args: map[string]any{"name": fmt.Sprintf("core %d", s.Core)},
+		events = append(events, chromeEvent{
+			Name: c.Name,
+			Ph:   "C",
+			TS:   float64(c.TS) / 1e3,
+			PID:  0,
+			Args: args,
 		})
 	}
 	enc := json.NewEncoder(w)
-	return enc.Encode(append(meta, events...))
+	return enc.Encode(chromeTrace{TraceEvents: events, DisplayTimeUnit: "ms"})
 }

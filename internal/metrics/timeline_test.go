@@ -30,28 +30,71 @@ func TestWriteChromeTrace(t *testing.T) {
 	tl := NewTimeline(0)
 	tl.Add(Slice{Task: "worker", TID: 3, Core: 1, Start: 0, End: 2 * sim.Millisecond, FreqMHz: 3400})
 	tl.Add(Slice{Task: "worker", TID: 3, Core: 2, Start: 3 * sim.Millisecond, End: 5 * sim.Millisecond, FreqMHz: 2800})
+	tl.AddInstant(Instant{Name: "place nest:primary", Core: 1, TS: 3 * sim.Millisecond})
+	tl.AddCounterSample(CounterSample{Name: "nest size", TS: sim.Millisecond, Values: map[string]float64{"primary": 2}})
 	var b strings.Builder
 	if err := tl.WriteChromeTrace(&b); err != nil {
 		t.Fatal(err)
 	}
-	var events []map[string]any
-	if err := json.Unmarshal([]byte(b.String()), &events); err != nil {
+	var trace struct {
+		TraceEvents     []map[string]any `json:"traceEvents"`
+		DisplayTimeUnit string           `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal([]byte(b.String()), &trace); err != nil {
 		t.Fatalf("not valid trace JSON: %v", err)
 	}
-	// 2 metadata (core names) + 2 slices.
-	if len(events) != 4 {
-		t.Fatalf("events = %d", len(events))
+	if trace.DisplayTimeUnit != "ms" {
+		t.Fatalf("displayTimeUnit = %q", trace.DisplayTimeUnit)
 	}
-	var sliceSeen bool
-	for _, e := range events {
-		if e["ph"] == "X" {
+	var sliceSeen, instantSeen, counterSeen bool
+	var procName string
+	threadNames := map[float64]string{}
+	for _, e := range trace.TraceEvents {
+		switch e["ph"] {
+		case "X":
 			sliceSeen = true
 			if e["dur"].(float64) != 2000 { // 2ms in µs
 				t.Fatalf("dur = %v", e["dur"])
 			}
+		case "i":
+			instantSeen = true
+			if e["s"] != "t" {
+				t.Fatalf("instant scope = %v", e["s"])
+			}
+		case "C":
+			counterSeen = true
+		case "M":
+			args, _ := e["args"].(map[string]any)
+			switch e["name"] {
+			case "process_name":
+				procName, _ = args["name"].(string)
+			case "thread_name":
+				tid, _ := e["tid"].(float64)
+				threadNames[tid], _ = args["name"].(string)
+			}
 		}
 	}
-	if !sliceSeen {
-		t.Fatal("no complete events emitted")
+	if !sliceSeen || !instantSeen || !counterSeen {
+		t.Fatalf("missing events: slice=%v instant=%v counter=%v", sliceSeen, instantSeen, counterSeen)
 	}
+	if procName != "nest-sim" {
+		t.Fatalf("process_name = %q", procName)
+	}
+	if threadNames[1] != "core 1" || threadNames[2] != "core 2" {
+		t.Fatalf("thread names = %v", threadNames)
+	}
+}
+
+func TestTimelineInstantCap(t *testing.T) {
+	tl := NewTimeline(1)
+	tl.AddInstant(Instant{Name: "a"})
+	tl.AddInstant(Instant{Name: "b"})
+	tl.AddCounterSample(CounterSample{Name: "c"})
+	tl.AddCounterSample(CounterSample{Name: "d"})
+	if len(tl.Instants) != 1 || len(tl.Counters) != 1 || tl.Dropped() != 2 {
+		t.Fatalf("instants=%d counters=%d dropped=%d", len(tl.Instants), len(tl.Counters), tl.Dropped())
+	}
+	var nilTL *Timeline
+	nilTL.AddInstant(Instant{})
+	nilTL.AddCounterSample(CounterSample{})
 }

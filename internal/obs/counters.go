@@ -1,0 +1,118 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is one named atomic tally. The zero value is ready to use; a
+// nil *Counter drops increments, so hot paths can hold a handle without
+// caring whether observability is on.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter. Nil-safe.
+func (c *Counter) Add(n int64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current tally. Nil-safe.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Counters is a run-wide registry of named counters. Names are dotted
+// label paths — "<scheduler>.<path>" for placement decisions (e.g.
+// "cfs.idlest_group", "nest.attached"), "nest.expand"/"nest.compact"/
+// "nest.impatience" for nest structure, "cpu.migration" and
+// "cpu.balance.<kind>" for runtime events, "freq.grant"/"gov.request"
+// for frequency selection. See docs/OBSERVABILITY.md for the full list.
+//
+// The registry is safe for concurrent use: reads take a shared lock,
+// increments are atomic, and registration double-checks under the write
+// lock. It is the repository's first intentionally concurrent-safe
+// structure (the simulation itself is single-goroutine).
+type Counters struct {
+	mu sync.RWMutex
+	m  map[string]*Counter
+}
+
+// NewCounters returns an empty registry.
+func NewCounters() *Counters {
+	return &Counters{m: make(map[string]*Counter)}
+}
+
+// Handle returns the counter registered under name, creating it if
+// needed. Hot paths can cache the handle and call Add directly. Returns
+// nil on a nil registry.
+func (cs *Counters) Handle(name string) *Counter {
+	if cs == nil {
+		return nil
+	}
+	cs.mu.RLock()
+	c := cs.m[name]
+	cs.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	if c = cs.m[name]; c == nil {
+		c = &Counter{}
+		cs.m[name] = c
+	}
+	return c
+}
+
+// Add increments the named counter, registering it on first use.
+// Nil-safe.
+func (cs *Counters) Add(name string, n int64) {
+	cs.Handle(name).Add(n)
+}
+
+// Value returns the named counter's tally (0 if never registered).
+func (cs *Counters) Value(name string) int64 {
+	if cs == nil {
+		return 0
+	}
+	cs.mu.RLock()
+	c := cs.m[name]
+	cs.mu.RUnlock()
+	return c.Value()
+}
+
+// Names returns all registered counter names, sorted.
+func (cs *Counters) Names() []string {
+	if cs == nil {
+		return nil
+	}
+	cs.mu.RLock()
+	out := make([]string, 0, len(cs.m))
+	for name := range cs.m {
+		out = append(out, name)
+	}
+	cs.mu.RUnlock()
+	sort.Strings(out)
+	return out
+}
+
+// Snapshot returns a point-in-time copy of every counter.
+func (cs *Counters) Snapshot() map[string]int64 {
+	if cs == nil {
+		return nil
+	}
+	cs.mu.RLock()
+	defer cs.mu.RUnlock()
+	out := make(map[string]int64, len(cs.m))
+	for name, c := range cs.m {
+		out[name] = c.Value()
+	}
+	return out
+}

@@ -1,0 +1,64 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+)
+
+// JSONLRecorder writes each event as one JSON object per line:
+//
+//	{"ev":"placement","t_ns":4000000,"sched":"nest","path":"attached",...}
+//
+// The "ev" field is the event's Kind; the remaining fields are the
+// event's own. Errors are sticky: the first write or marshal failure
+// stops output and is returned by Flush.
+type JSONLRecorder struct {
+	bw  *bufio.Writer
+	err error
+	n   int
+}
+
+// NewJSONL returns a recorder writing to w. Call Flush when done.
+func NewJSONL(w io.Writer) *JSONLRecorder {
+	return &JSONLRecorder{bw: bufio.NewWriter(w)}
+}
+
+// Record implements Recorder.
+func (r *JSONLRecorder) Record(ev Event) {
+	if r.err != nil {
+		return
+	}
+	b, err := json.Marshal(ev)
+	if err != nil {
+		r.err = err
+		return
+	}
+	// Splice the kind in as the first field: {"ev":"<kind>",<fields...>}.
+	if len(b) < 2 || b[0] != '{' {
+		return // non-object events have no wire form
+	}
+	r.bw.WriteString(`{"ev":`)
+	kb, _ := json.Marshal(ev.Kind())
+	r.bw.Write(kb)
+	if len(b) > 2 {
+		r.bw.WriteByte(',')
+		r.bw.Write(b[1 : len(b)-1])
+	}
+	if _, err := r.bw.WriteString("}\n"); err != nil {
+		r.err = err
+		return
+	}
+	r.n++
+}
+
+// Lines returns the number of lines successfully written.
+func (r *JSONLRecorder) Lines() int { return r.n }
+
+// Flush drains buffered output and returns the first error encountered.
+func (r *JSONLRecorder) Flush() error {
+	if err := r.bw.Flush(); err != nil && r.err == nil {
+		r.err = err
+	}
+	return r.err
+}

@@ -1,0 +1,298 @@
+// Package obs is the scheduler observability layer: typed decision
+// events, a run-wide counter registry, and exporters (JSONL, Prometheus
+// text exposition, Chrome-trace annotation, ASCII explain summaries).
+//
+// The paper's argument is diagnostic — Figures 2/3/8/9 explain *which*
+// heuristic path dispersed a task and *why* Nest kept it warm — so the
+// policies (internal/cfs, internal/core, internal/smove), the runtime
+// (internal/cpu) and the frequency model (internal/freqmodel) emit one
+// event per decision through a Hub. Everything is zero-overhead when
+// disabled: a nil *Hub (or one with no sinks) reports Enabled() == false
+// and every call site guards event construction behind that check, so
+// benchmark runs allocate exactly as they did before this layer existed.
+//
+// Emission idiom:
+//
+//	if h := m.Obs(); h.Enabled() {
+//		h.Emit(obs.PlacementDecision{T: m.Now(), Sched: "cfs", ...})
+//	}
+//
+// The counter registry (Counters) is safe for concurrent use; recorders
+// are not, matching the single-goroutine simulation loop.
+package obs
+
+import (
+	"sync/atomic"
+
+	"repro/internal/sim"
+)
+
+// Event is a typed observation. Each event knows its wire name (Kind)
+// and which counters it bumps when recorded.
+type Event interface {
+	// Kind is the stable wire name used in JSONL output ("placement",
+	// "migration", ...).
+	Kind() string
+	// count applies the event's counter increments to a registry.
+	count(c *Counters)
+}
+
+// Recorder receives every emitted event. Implementations in this package:
+// JSONLRecorder, Explain, TimelineRecorder. Recorders run synchronously
+// inside the simulation loop and need not be concurrency-safe.
+type Recorder interface {
+	Record(ev Event)
+}
+
+// Hub is the emission point a run hands to the runtime and policies. A
+// nil *Hub is a valid, fully disabled hub; all methods are nil-safe.
+type Hub struct {
+	rec      Recorder
+	counters *Counters
+	events   atomic.Int64
+}
+
+// New returns a hub with a fresh counter registry fanning events out to
+// the given recorders (none is fine: counters alone still aggregate).
+func New(recs ...Recorder) *Hub {
+	h := &Hub{counters: NewCounters()}
+	switch len(recs) {
+	case 0:
+	case 1:
+		h.rec = recs[0]
+	default:
+		h.rec = Multi(recs...)
+	}
+	return h
+}
+
+// Disabled returns a non-nil hub with no sinks. It behaves exactly like
+// a nil hub — Enabled() is false and Emit drops everything — and exists
+// so tests can prove the disabled fast path adds no allocations.
+func Disabled() *Hub { return &Hub{} }
+
+// Enabled reports whether emitting to this hub can have any effect.
+// Call sites must construct events only inside an Enabled() guard; that
+// is what keeps the disabled path allocation-free.
+func (h *Hub) Enabled() bool {
+	return h != nil && (h.rec != nil || h.counters != nil)
+}
+
+// Emit records ev: counters first, then the recorder chain. Safe on a
+// nil or disabled hub (the event is dropped).
+func (h *Hub) Emit(ev Event) {
+	if h == nil {
+		return
+	}
+	recorded := false
+	if h.counters != nil {
+		ev.count(h.counters)
+		recorded = true
+	}
+	if h.rec != nil {
+		h.rec.Record(ev)
+		recorded = true
+	}
+	if recorded {
+		h.events.Add(1)
+	}
+}
+
+// Count bumps a named counter without going through an event — for
+// ad-hoc tallies (e.g. "smove.tick_said_fast"). Nil-safe.
+func (h *Hub) Count(name string, n int64) {
+	if h == nil || h.counters == nil {
+		return
+	}
+	h.counters.Add(name, n)
+}
+
+// Counters returns the hub's registry (nil on a nil/disabled hub).
+func (h *Hub) Counters() *Counters {
+	if h == nil {
+		return nil
+	}
+	return h.counters
+}
+
+// Snapshot returns a copy of the counter registry's current values.
+func (h *Hub) Snapshot() map[string]int64 {
+	if h == nil || h.counters == nil {
+		return nil
+	}
+	return h.counters.Snapshot()
+}
+
+// Events returns the number of events recorded so far.
+func (h *Hub) Events() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.events.Load()
+}
+
+// Multi fans events out to several recorders in order.
+func Multi(recs ...Recorder) Recorder { return multi(recs) }
+
+type multi []Recorder
+
+func (m multi) Record(ev Event) {
+	for _, r := range m {
+		r.Record(ev)
+	}
+}
+
+// ---- Event types ----------------------------------------------------
+//
+// Field names use JSON tags matching docs/OBSERVABILITY.md; timestamps
+// are virtual nanoseconds. Cores and tasks are plain ints so the wire
+// format stays self-describing.
+
+// RunInfo labels the start of one run's event stream; multi-run dumps
+// (cmd/experiments -events) use it to delimit runs.
+type RunInfo struct {
+	Machine   string  `json:"machine"`
+	Scheduler string  `json:"sched"`
+	Governor  string  `json:"gov"`
+	Workload  string  `json:"workload"`
+	Scale     float64 `json:"scale"`
+	Seed      uint64  `json:"seed"`
+}
+
+// Kind implements Event.
+func (RunInfo) Kind() string { return "run" }
+
+func (RunInfo) count(c *Counters) { c.Add("runs", 1) }
+
+// PlacementDecision is one core-selection outcome: which policy, which
+// heuristic path fired, what it cost. The counter "<sched>.<path>"
+// (e.g. "cfs.idlest_group", "nest.attached") tallies each path. When a
+// policy delegates (Nest falling back to CFS, Smove overriding CFS),
+// both layers emit: the inner decision first, then the outer one.
+type PlacementDecision struct {
+	T        sim.Time `json:"t_ns"`
+	Sched    string   `json:"sched"`
+	Task     int      `json:"task"`
+	TaskName string   `json:"task_name,omitempty"`
+	Core     int      `json:"chosen_core"`
+	Path     string   `json:"path"`
+	Scanned  int      `json:"scanned"`
+	Reason   string   `json:"reason,omitempty"`
+	Fork     bool     `json:"fork,omitempty"`
+}
+
+// Kind implements Event.
+func (PlacementDecision) Kind() string { return "placement" }
+
+func (e PlacementDecision) count(c *Counters) { c.Add(e.Sched+"."+e.Path, 1) }
+
+// Migration is a task starting (or being moved) on a core different from
+// its previous one. Reasons: "schedule_in", "smove_timer".
+type Migration struct {
+	T        sim.Time `json:"t_ns"`
+	Task     int      `json:"task"`
+	TaskName string   `json:"task_name,omitempty"`
+	From     int      `json:"from_core"`
+	To       int      `json:"to_core"`
+	Reason   string   `json:"reason,omitempty"`
+}
+
+// Kind implements Event.
+func (Migration) Kind() string { return "migration" }
+
+func (Migration) count(c *Counters) { c.Add("cpu.migration", 1) }
+
+// NestExpand is the primary nest growing by one core (§3.1 promotion,
+// impatience expansion, or the no-reserve ablation's direct adds).
+type NestExpand struct {
+	T       sim.Time `json:"t_ns"`
+	Core    int      `json:"core"`
+	Primary int      `json:"primary"`
+	Reserve int      `json:"reserve"`
+	Reason  string   `json:"reason,omitempty"`
+}
+
+// Kind implements Event.
+func (NestExpand) Kind() string { return "nest_expand" }
+
+func (NestExpand) count(c *Counters) { c.Add("nest.expand", 1) }
+
+// NestCompact is a primary core demoted (§3.1): To says where it went
+// ("reserve" or "evicted"); Reason says why ("idle_timeout", "exit").
+type NestCompact struct {
+	T       sim.Time `json:"t_ns"`
+	Core    int      `json:"core"`
+	Primary int      `json:"primary"`
+	Reserve int      `json:"reserve"`
+	To      string   `json:"to"`
+	Reason  string   `json:"reason,omitempty"`
+}
+
+// Kind implements Event.
+func (NestCompact) Kind() string { return "nest_compact" }
+
+func (NestCompact) count(c *Counters) { c.Add("nest.compact", 1) }
+
+// ImpatienceTrip is a task crossing the R_impatient threshold (§3.1):
+// its next placement may expand the primary nest.
+type ImpatienceTrip struct {
+	T        sim.Time `json:"t_ns"`
+	Task     int      `json:"task"`
+	TaskName string   `json:"task_name,omitempty"`
+	Count    int      `json:"count"`
+}
+
+// Kind implements Event.
+func (ImpatienceTrip) Kind() string { return "impatience" }
+
+func (ImpatienceTrip) count(c *Counters) { c.Add("nest.impatience", 1) }
+
+// FreqGrant is the hardware steering a busy core toward a frequency:
+// the turbo-budget-limited target the frequency model computed. Reasons:
+// "boost" (sub-tick activation ramp), "tick" (periodic update).
+type FreqGrant struct {
+	T          sim.Time `json:"t_ns"`
+	Core       int      `json:"core"`
+	GrantMHz   int      `json:"grant_mhz"`
+	LimitMHz   int      `json:"limit_mhz"`
+	ActivePhys int      `json:"active_phys"`
+	Reason     string   `json:"reason,omitempty"`
+}
+
+// Kind implements Event.
+func (FreqGrant) Kind() string { return "freq_grant" }
+
+func (FreqGrant) count(c *Counters) { c.Add("freq.grant", 1) }
+
+// GovernorRequest is one governor request for an active core at a tick:
+// the OS-side half of frequency selection (§2.3).
+type GovernorRequest struct {
+	T           sim.Time `json:"t_ns"`
+	Core        int      `json:"core"`
+	Governor    string   `json:"governor"`
+	Util        float64  `json:"util"`
+	SuggestMHz  int      `json:"suggest_mhz"`
+	FloorMHz    int      `json:"floor_mhz"`
+	EnergyAware bool     `json:"energy_aware,omitempty"`
+}
+
+// Kind implements Event.
+func (GovernorRequest) Kind() string { return "governor_request" }
+
+func (GovernorRequest) count(c *Counters) { c.Add("gov.request", 1) }
+
+// TickBalance is a load-balance pull: Kind2 is "newidle" (idle-entry
+// pull) or "periodic" (tick-driven balance pass).
+type TickBalance struct {
+	T        sim.Time `json:"t_ns"`
+	From     int      `json:"from_core"`
+	To       int      `json:"to_core"`
+	Task     int      `json:"task"`
+	TaskName string   `json:"task_name,omitempty"`
+	Kind2    string   `json:"kind"`
+}
+
+// Kind implements Event.
+func (TickBalance) Kind() string { return "tick_balance" }
+
+func (e TickBalance) count(c *Counters) { c.Add("cpu.balance."+e.Kind2, 1) }

@@ -1,0 +1,72 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (one counter family per registered name, values as totals):
+//
+//	# TYPE nestsim_nest_expand_total counter
+//	nestsim_nest_expand_total{sched="nest",workload="configure"} 42
+//
+// labels are attached to every sample (sorted by key); pass nil for
+// none. Dots and other non-metric characters in counter names become
+// underscores, prefixed "nestsim_" and suffixed "_total".
+func WritePrometheus(w io.Writer, cs *Counters, labels map[string]string) error {
+	if cs == nil {
+		return nil
+	}
+	lstr := promLabels(labels)
+	for _, name := range cs.Names() {
+		metric := promName(name)
+		if _, err := fmt.Fprintf(w, "# HELP %s nest-sim counter %q\n# TYPE %s counter\n%s%s %d\n",
+			metric, name, metric, metric, lstr, cs.Value(name)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// promName sanitises a dotted counter name into a Prometheus metric name.
+func promName(name string) string {
+	var b strings.Builder
+	b.WriteString("nestsim_")
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '_':
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	b.WriteString("_total")
+	return b.String()
+}
+
+// promLabels renders a sorted {k="v",...} label block ("" when empty).
+func promLabels(labels map[string]string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		// %q escaping matches the exposition format (\" \\ \n).
+		fmt.Fprintf(&b, "%s=%q", k, labels[k])
+	}
+	b.WriteByte('}')
+	return b.String()
+}

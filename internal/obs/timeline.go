@@ -1,0 +1,66 @@
+package obs
+
+import (
+	"fmt"
+
+	"repro/internal/metrics"
+	"repro/internal/sim"
+)
+
+// TimelineRecorder annotates a metrics.Timeline with decision events:
+// placements and migrations become instant markers on their core's row,
+// and nest expand/compact events become a "nest size" counter track.
+// Combined with the execution slices the runtime already records, the
+// exported Chrome/Perfetto trace shows not just *where* tasks ran but
+// *why* they were put there.
+type TimelineRecorder struct {
+	tl *metrics.Timeline
+}
+
+// NewTimelineRecorder returns a recorder writing annotations into tl.
+func NewTimelineRecorder(tl *metrics.Timeline) *TimelineRecorder {
+	return &TimelineRecorder{tl: tl}
+}
+
+// Record implements Recorder.
+func (r *TimelineRecorder) Record(ev Event) {
+	switch e := ev.(type) {
+	case PlacementDecision:
+		r.tl.AddInstant(metrics.Instant{
+			Name: "place " + e.Sched + ":" + e.Path,
+			Core: e.Core,
+			TS:   e.T,
+			Args: map[string]any{
+				"task":    e.Task,
+				"scanned": e.Scanned,
+				"reason":  e.Reason,
+				"fork":    e.Fork,
+			},
+		})
+	case Migration:
+		r.tl.AddInstant(metrics.Instant{
+			Name: fmt.Sprintf("migrate %d→%d", e.From, e.To),
+			Core: e.To,
+			TS:   e.T,
+			Args: map[string]any{"task": e.Task, "reason": e.Reason},
+		})
+	case NestExpand:
+		r.nestSize(e.T, e.Primary, e.Reserve)
+	case NestCompact:
+		r.nestSize(e.T, e.Primary, e.Reserve)
+	case ImpatienceTrip:
+		// No core to pin the marker to; the counter registry and the
+		// explain summary carry impatience totals instead.
+	}
+}
+
+func (r *TimelineRecorder) nestSize(t sim.Time, primary, reserve int) {
+	r.tl.AddCounterSample(metrics.CounterSample{
+		Name: "nest size",
+		TS:   t,
+		Values: map[string]float64{
+			"primary": float64(primary),
+			"reserve": float64(reserve),
+		},
+	})
+}

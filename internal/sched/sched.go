@@ -8,6 +8,7 @@ package sched
 
 import (
 	"repro/internal/machine"
+	"repro/internal/obs"
 	"repro/internal/proc"
 	"repro/internal/sim"
 )
@@ -23,6 +24,10 @@ type Machine interface {
 	Now() sim.Time
 	// Rand returns the run's deterministic RNG.
 	Rand() *sim.Rand
+	// Obs returns the run's observability hub, or nil when decision
+	// tracing is disabled. Guard event construction behind
+	// Obs().Enabled() so disabled runs stay allocation-free.
+	Obs() *obs.Hub
 
 	// IsIdle reports whether core c has no running task and an empty run
 	// queue. Idle spinning does not make a core busy for placement.

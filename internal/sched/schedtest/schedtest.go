@@ -4,6 +4,7 @@ package schedtest
 
 import (
 	"repro/internal/machine"
+	"repro/internal/obs"
 	"repro/internal/proc"
 	"repro/internal/sched"
 	"repro/internal/sim"
@@ -16,6 +17,7 @@ type Fake struct {
 	SpecV *machine.Spec
 	NowV  sim.Time
 	Rng   *sim.Rand
+	Hub   *obs.Hub // nil = observability off, as in the real runtime
 
 	Busy     map[machine.CoreID]bool
 	Queue    map[machine.CoreID]int
@@ -75,6 +77,9 @@ func (f *Fake) Now() sim.Time { return f.NowV }
 
 // Rand implements sched.Machine.
 func (f *Fake) Rand() *sim.Rand { return f.Rng }
+
+// Obs implements sched.Machine.
+func (f *Fake) Obs() *obs.Hub { return f.Hub }
 
 // IsIdle implements sched.Machine.
 func (f *Fake) IsIdle(c machine.CoreID) bool { return !f.Busy[c] && f.Queue[c] == 0 }

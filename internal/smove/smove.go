@@ -15,6 +15,7 @@ package smove
 import (
 	"repro/internal/cfs"
 	"repro/internal/machine"
+	"repro/internal/obs"
 	"repro/internal/proc"
 	"repro/internal/sched"
 	"repro/internal/sim"
@@ -84,6 +85,7 @@ func (p *Policy) place(m sched.Machine, t *proc.Task, wakerCore, chosen machine.
 	if chosenF >= nominal*p.cfg.LowFreqFraction {
 		// The tick sample says the CFS core is fine; do nothing. (It is
 		// often wrong on just-idled cores — Smove's blind spot.)
+		m.Obs().Count("smove.tick_said_fast", 1)
 		return chosen
 	}
 	if wakerF < nominal*p.cfg.HighFreqFraction {
@@ -92,6 +94,12 @@ func (p *Policy) place(m sched.Machine, t *proc.Task, wakerCore, chosen machine.
 	// Tentative placement on the waker's fast core, with a timer to fall
 	// back to the CFS choice.
 	m.MoveIfStillQueued(t, chosen, p.cfg.MoveDelay)
+	if h := m.Obs(); h.Enabled() {
+		h.Emit(obs.PlacementDecision{
+			T: m.Now(), Sched: p.Name(), Task: int(t.ID), TaskName: t.Name,
+			Core: int(wakerCore), Path: "handoff", Reason: "tick_freq_low",
+		})
+	}
 	return wakerCore
 }
 
