@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/machine"
 	"repro/internal/obs"
 )
 
@@ -40,9 +41,25 @@ func main() {
 		return
 	}
 
+	// Reject bad parameters up front with a usage error (exit 2) rather
+	// than panicking or failing halfway through a grid.
+	if *runs < 1 {
+		fmt.Fprintln(os.Stderr, "experiments: -runs must be at least 1")
+		os.Exit(2)
+	}
+	if *scale < 0 {
+		fmt.Fprintln(os.Stderr, "experiments: -scale must not be negative")
+		os.Exit(2)
+	}
 	opt := experiments.Options{Scale: *scale, Runs: *runs, Seed: *seed}
 	if *machines != "" {
 		opt.Machines = strings.Split(*machines, ",")
+		for _, m := range opt.Machines {
+			if _, err := machine.Preset(m); err != nil {
+				fmt.Fprintln(os.Stderr, "experiments:", err)
+				os.Exit(2)
+			}
+		}
 	}
 	var jsonl *obs.JSONLRecorder
 	var eventsF *os.File
@@ -65,7 +82,7 @@ func main() {
 		e, err := experiments.ByID(id)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "experiments:", err)
-			os.Exit(1)
+			os.Exit(2)
 		}
 		start := time.Now()
 		rep, err := e.Run(opt)

@@ -23,6 +23,7 @@ import (
 	"text/tabwriter"
 
 	"repro/internal/experiments"
+	"repro/internal/invariant"
 	"repro/internal/machine"
 	"repro/internal/metrics"
 	"repro/internal/obs"
@@ -33,22 +34,24 @@ import (
 
 func main() {
 	var (
-		machineName = flag.String("machine", "5218", "machine preset (6130-2, 6130-4, 5218, e7-8870, 5220, 4650g)")
-		schedName   = flag.String("sched", "cfs", "scheduler: cfs, nest, smove, or nest:<flags>")
-		govName     = flag.String("gov", "schedutil", "governor: schedutil or performance")
-		wlName      = flag.String("workload", "configure/llvm_ninja", "workload name (see -list)")
-		scale       = flag.Float64("scale", experiments.DefaultScale, "workload scale (1 = paper length)")
-		runs        = flag.Int("runs", 3, "number of runs to average")
-		seed        = flag.Uint64("seed", 1, "base RNG seed")
-		list        = flag.Bool("list", false, "list available workloads and exit")
-		compare     = flag.Bool("compare", false, "run the four paper configurations and print speedups")
-		traceMS     = flag.Int("trace", 0, "render an ASCII core trace of the first N milliseconds")
-		customPath  = flag.String("custom", "", "register a custom workload from a JSON spec file (see internal/workload.CustomSpec)")
-		chromeOut   = flag.String("chrometrace", "", "write a decision-annotated Chrome/Perfetto trace to this file (with -runs > 1, only the first run is traced)")
-		eventsOut   = flag.String("events", "", "stream decision events as JSONL to this file (first run only)")
-		countersOn  = flag.Bool("counters", false, "print the run's counter registry (first run only)")
-		explainOn   = flag.Bool("explain", false, "print a placement-path/scan-cost/nest-size summary (first run only)")
-		promOut     = flag.String("prom", "", "write the counter registry in Prometheus text exposition to this file")
+		machineName  = flag.String("machine", "5218", "machine preset (6130-2, 6130-4, 5218, e7-8870, 5220, 4650g)")
+		schedName    = flag.String("sched", "cfs", "scheduler: cfs, nest, smove, or nest:<flags>")
+		govName      = flag.String("gov", "schedutil", "governor: schedutil or performance")
+		wlName       = flag.String("workload", "configure/llvm_ninja", "workload name (see -list)")
+		scale        = flag.Float64("scale", experiments.DefaultScale, "workload scale (1 = paper length)")
+		runs         = flag.Int("runs", 3, "number of runs to average")
+		seed         = flag.Uint64("seed", 1, "base RNG seed")
+		list         = flag.Bool("list", false, "list available workloads and exit")
+		compare      = flag.Bool("compare", false, "run the four paper configurations and print speedups")
+		traceMS      = flag.Int("trace", 0, "render an ASCII core trace of the first N milliseconds")
+		customPath   = flag.String("custom", "", "register a custom workload from a JSON spec file (see internal/workload.CustomSpec)")
+		chromeOut    = flag.String("chrometrace", "", "write a decision-annotated Chrome/Perfetto trace to this file (with -runs > 1, only the first run is traced)")
+		eventsOut    = flag.String("events", "", "stream decision events as JSONL to this file (first run only)")
+		countersOn   = flag.Bool("counters", false, "print the run's counter registry (first run only)")
+		explainOn    = flag.Bool("explain", false, "print a placement-path/scan-cost/nest-size summary (first run only)")
+		promOut      = flag.String("prom", "", "write the counter registry in Prometheus text exposition to this file")
+		faultsSpec   = flag.String("faults", "", "fault plan, e.g. \"off:c3@2s+500ms,throttle:s0@1s=2.1GHz\" (see docs/ROBUSTNESS.md)")
+		invariantsOn = flag.Bool("invariants", false, "sweep scheduler invariants after every event (first run only); exit non-zero on any violation")
 	)
 	flag.Parse()
 
@@ -76,18 +79,32 @@ func main() {
 		return
 	}
 
+	// Validate every externally supplied parameter up front and report
+	// usage errors with exit status 2, before any run starts.
+	if *runs < 1 {
+		fmt.Fprintln(os.Stderr, "nestsim: -runs must be at least 1")
+		os.Exit(2)
+	}
+	rs := experiments.RunSpec{
+		Machine: *machineName, Scheduler: *schedName, Governor: *govName,
+		Workload: *wlName, Scale: *scale, Seed: *seed, Faults: *faultsSpec,
+	}
+	if err := rs.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "nestsim:", err)
+		os.Exit(2)
+	}
+	if *invariantsOn {
+		rs.Check = invariant.New()
+	}
+
 	if *compare {
-		if err := runCompare(*machineName, *wlName, *scale, *runs, *seed); err != nil {
+		if err := runCompare(*machineName, *wlName, *scale, *runs, *seed, *faultsSpec, *invariantsOn); err != nil {
 			fmt.Fprintln(os.Stderr, "nestsim:", err)
 			os.Exit(1)
 		}
 		return
 	}
 
-	rs := experiments.RunSpec{
-		Machine: *machineName, Scheduler: *schedName, Governor: *govName,
-		Workload: *wlName, Scale: *scale, Seed: *seed,
-	}
 	if *traceMS > 0 {
 		if err := runTraced(rs, *traceMS); err != nil {
 			fmt.Fprintln(os.Stderr, "nestsim:", err)
@@ -138,6 +155,13 @@ func runMain(rs experiments.RunSpec, runs int, chromeOut, eventsOut, promOut str
 		return err
 	}
 	printResults(rs, results)
+	if rs.Check != nil {
+		fmt.Printf("  invariants   %d violations in %d sweeps\n",
+			rs.Check.Total(), rs.Check.Checks())
+		for _, v := range rs.Check.Violations() {
+			fmt.Println("   ", v)
+		}
+	}
 
 	if explain != nil {
 		fmt.Println()
@@ -193,6 +217,9 @@ func runMain(rs experiments.RunSpec, runs int, chromeOut, eventsOut, promOut str
 		fmt.Printf("wrote %d slices, %d decision markers (%d dropped) for %s to %s\n",
 			len(tl.Slices), len(tl.Instants), tl.Dropped(), noun, chromeOut)
 		fmt.Println("open in ui.perfetto.dev or chrome://tracing")
+	}
+	if rs.Check != nil && rs.Check.Total() > 0 {
+		return fmt.Errorf("%d invariant violations detected", rs.Check.Total())
 	}
 	return nil
 }
@@ -260,7 +287,7 @@ func pctStd(xs []float64) float64 {
 	return 100 * metrics.Stddev(xs) / m
 }
 
-func runCompare(machineName, wlName string, scale float64, runs int, seed uint64) error {
+func runCompare(machineName, wlName string, scale float64, runs int, seed uint64, faults string, invariants bool) error {
 	configs := []struct{ sched, gov string }{
 		{"cfs", "schedutil"},
 		{"cfs", "performance"},
@@ -274,35 +301,59 @@ func runCompare(machineName, wlName string, scale float64, runs int, seed uint64
 		std    float64
 		energy float64
 		under  float64
+		viol   int
 	}
 	var rows []row
+	violations := 0
 	for _, c := range configs {
 		rs := experiments.RunSpec{
 			Machine: machineName, Scheduler: c.sched, Governor: c.gov,
-			Workload: wlName, Scale: scale, Seed: seed,
+			Workload: wlName, Scale: scale, Seed: seed, Faults: faults,
+		}
+		if invariants {
+			rs.Check = invariant.New()
 		}
 		results, err := experiments.RunRepeats(rs, runs)
 		if err != nil {
 			return err
 		}
 		times := metrics.Runtimes(results)
-		rows = append(rows, row{
+		r := row{
 			name:   c.sched + "-" + c.gov,
 			time:   metrics.Mean(times),
 			std:    pctStd(times),
 			energy: metrics.Mean(metrics.Energies(results)),
 			under:  results[0].UnderloadAvg,
-		})
+		}
+		if rs.Check != nil {
+			r.viol = rs.Check.Total()
+			violations += r.viol
+		}
+		rows = append(rows, r)
 	}
 	base := rows[0].time
 	baseE := rows[0].energy
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintf(w, "%s on %s (scale %.3g, %d runs)\n", wlName, machineName, scale, runs)
-	fmt.Fprintln(w, "config\truntime\tstddev\tspeedup\tenergy\tsavings\tunderload")
+	head := "config\truntime\tstddev\tspeedup\tenergy\tsavings\tunderload"
+	if invariants {
+		head += "\tviolations"
+	}
+	fmt.Fprintln(w, head)
 	for _, r := range rows {
-		fmt.Fprintf(w, "%s\t%.4fs\t±%.1f%%\t%+.1f%%\t%.1fJ\t%+.1f%%\t%.2f\n",
+		fmt.Fprintf(w, "%s\t%.4fs\t±%.1f%%\t%+.1f%%\t%.1fJ\t%+.1f%%\t%.2f",
 			r.name, r.time, r.std, 100*metrics.Speedup(base, r.time),
 			r.energy, 100*metrics.Speedup(baseE, r.energy), r.under)
+		if invariants {
+			fmt.Fprintf(w, "\t%d", r.viol)
+		}
+		fmt.Fprintln(w)
 	}
-	return w.Flush()
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	if violations > 0 {
+		return fmt.Errorf("%d invariant violations detected", violations)
+	}
+	return nil
 }

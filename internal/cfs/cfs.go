@@ -126,7 +126,7 @@ func (p *Policy) SelectCoreFork(m sched.Machine, parent, child *proc.Task, paren
 	}
 	bestSock := home
 	for s := 0; s < topo.NumSockets(); s++ {
-		if s == bestSock {
+		if s == bestSock || !socketHasOnline(m, s) {
 			continue
 		}
 		margin := 0.0
@@ -151,8 +151,15 @@ func (p *Policy) SelectCoreFork(m sched.Machine, parent, child *proc.Task, paren
 		}
 		seen[phys] = true
 		sib := topo.Sibling(c)
+		// A physical core is a candidate only through its online threads.
+		if !m.Online(c) {
+			if sib == c || !m.Online(sib) {
+				continue
+			}
+			c, sib = sib, c
+		}
 		load := m.LoadAvg(c)
-		if sib != c {
+		if sib != c && m.Online(sib) {
 			load += m.LoadAvg(sib)
 		}
 		examined += 2
@@ -164,7 +171,11 @@ func (p *Policy) SelectCoreFork(m sched.Machine, parent, child *proc.Task, paren
 
 	// SMT level: the emptier hardware thread.
 	chosen, path := bestA, "idlest_group"
-	if bestB != bestA && m.LoadAvg(bestB) < m.LoadAvg(bestA) {
+	if chosen < 0 {
+		// The chosen socket had no online core after all (hotplug race);
+		// fall back to any online core near the forking one.
+		chosen, path = fallbackOnline(m, parentCore), "online_fallback"
+	} else if bestB != bestA && m.Online(bestB) && m.LoadAvg(bestB) < m.LoadAvg(bestA) {
 		chosen, path = bestB, "idlest_smt"
 	}
 	if h := m.Obs(); h.Enabled() {
@@ -279,5 +290,45 @@ func (p *Policy) wakeupChoose(m sched.Machine, t *proc.Task, wakerCore machine.C
 			return sib, "sibling", ""
 		}
 	}
+	// An offline target cannot absorb the fallback (its previous core or
+	// die went down mid-run): divert to any online core.
+	if !m.Online(target) {
+		return fallbackOnline(m, target), "online_fallback", "target_offline"
+	}
 	return target, "target_fallback", "no_idle"
+}
+
+// socketHasOnline reports whether socket s has at least one online core.
+func socketHasOnline(m sched.Machine, s int) bool {
+	for _, c := range m.Topo().SocketCores(s) {
+		if m.Online(c) {
+			return true
+		}
+	}
+	return false
+}
+
+// fallbackOnline returns an online core near ref — idle if possible —
+// for when every normal candidate went offline. The runtime never
+// offlines the last core, so the scan always finds one.
+func fallbackOnline(m sched.Machine, ref machine.CoreID) machine.CoreID {
+	topo := m.Topo()
+	fallback := machine.CoreID(-1)
+	for _, s := range topo.SocketOrder(ref) {
+		for _, c := range topo.ScanFrom(s, ref) {
+			if !m.Online(c) {
+				continue
+			}
+			if m.IsIdle(c) {
+				return c
+			}
+			if fallback < 0 {
+				fallback = c
+			}
+		}
+	}
+	if fallback < 0 {
+		return ref
+	}
+	return fallback
 }

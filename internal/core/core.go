@@ -460,3 +460,43 @@ func (p *Policy) IdleSpin(m sched.Machine, c machine.CoreID) sim.Duration {
 	}
 	return 0
 }
+
+// CoreOffline implements sched.Policy: an offline core leaves both nests
+// immediately, before the runtime re-places its evacuated tasks, so no
+// search — nor the attach or previous-core fast paths, which require
+// nest membership — can choose it. Counted as nest.evacuate when the
+// core was actually in a nest.
+func (p *Policy) CoreOffline(m sched.Machine, c machine.CoreID) {
+	p.ensure(m, c)
+	now := m.Now()
+	removed := false
+	if p.inPrimary[c] {
+		p.inPrimary[c] = false
+		p.nPrimary--
+		removed = true
+		if h := p.h; h.Enabled() {
+			h.Emit(obs.NestCompact{
+				T: now, Core: int(c), Primary: p.nPrimary, Reserve: p.nReserve,
+				To: "offline", Reason: "hotplug",
+			})
+		}
+	}
+	if p.inReserve[c] {
+		p.inReserve[c] = false
+		p.nReserve--
+		removed = true
+	}
+	p.evicted[c] = true
+	if removed {
+		p.h.Count("nest.evacuate", 1)
+	}
+}
+
+// CoreOnline implements sched.Policy: a core coming back is cold and
+// unproven; it re-enters the nests through the normal probation path
+// (CFS fallback into the reserve), so nothing to do beyond clearing the
+// eviction mark.
+func (p *Policy) CoreOnline(m sched.Machine, c machine.CoreID) {
+	p.ensure(m, c)
+	p.evicted[c] = false
+}

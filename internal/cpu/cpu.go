@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/freqmodel"
 	"repro/internal/governor"
+	"repro/internal/invariant"
 	"repro/internal/machine"
 	"repro/internal/metrics"
 	"repro/internal/obs"
@@ -119,6 +120,12 @@ type Config struct {
 	// keeps all instrumentation on the allocation-free fast path.
 	Obs *obs.Hub
 
+	// Check, when non-nil, is bound to the machine and run after every
+	// simulation event (sim.Engine.OnStep), validating the structural
+	// invariants of internal/invariant. It costs a full machine sweep
+	// per event; nil keeps the run on the fast path.
+	Check *invariant.Checker
+
 	// OnTaskExit, when non-nil, observes every task exit (for workload
 	// request-latency accounting).
 	OnTaskExit func(*proc.Task)
@@ -172,6 +179,11 @@ type coreState struct {
 
 	// claimed marks an in-flight placement (§3.4's run-queue flag).
 	claimed bool
+
+	// offline marks a core taken down by fault injection (hotplug). An
+	// offline core runs nothing, queues nothing, and redirects any
+	// placement that was already in flight toward it.
+	offline bool
 
 	// spinUntil > now means the idle loop is spinning to keep the core
 	// warm (§3.2).
@@ -242,6 +254,17 @@ type Machine struct {
 
 	// bootCore is where root tasks are forked from.
 	bootCore machine.CoreID
+
+	// tickJitter, when positive, stretches each tick period by a
+	// deterministic draw from [0, tickJitter) — fault injection's model
+	// of timer noise.
+	tickJitter sim.Duration
+
+	// tasks / inFlight back the invariant checker's machine sweep; both
+	// stay nil (and cost nothing) unless Config.Check is set. inFlight
+	// counts placements between core selection and enqueue per task.
+	tasks    []*proc.Task
+	inFlight map[proc.TaskID]int
 }
 
 // New builds a machine from cfg.
@@ -280,6 +303,11 @@ func New(cfg Config) *Machine {
 		Governor:    cfg.Gov.Name(),
 		Seed:        cfg.Seed,
 		FreqHist:    metrics.NewHist(metrics.EdgesFor(cfg.Spec)),
+	}
+	if cfg.Check != nil {
+		m.inFlight = make(map[proc.TaskID]int)
+		cfg.Check.Bind(m, cfg.Policy)
+		m.eng.OnStep(cfg.Check.Check)
 	}
 	return m
 }
@@ -334,6 +362,9 @@ func (m *Machine) newTask(name string, b proc.Behavior, parent *proc.Task) *proc
 	}
 	t.Util.Reset(m.eng.Now(), seed)
 	m.liveTasks++
+	if m.inFlight != nil {
+		m.tasks = append(m.tasks, t)
+	}
 	return t
 }
 

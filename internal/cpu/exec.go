@@ -70,7 +70,15 @@ func (m *Machine) dispatch(t *proc.Task, target machine.CoreID) {
 		m.eng.Now()-cs.idleSince >= m.cfg.DeepIdleAfter {
 		delay += m.cfg.DeepIdleExit
 	}
-	m.eng.After(delay, func() { m.enqueue(t, target) })
+	if m.inFlight != nil {
+		m.inFlight[t.ID]++
+	}
+	m.eng.After(delay, func() {
+		if m.inFlight != nil {
+			m.inFlight[t.ID]--
+		}
+		m.enqueue(t, target)
+	})
 }
 
 // enqueue adds t to target's run queue and starts it if the core is idle.
@@ -78,6 +86,15 @@ func (m *Machine) enqueue(t *proc.Task, target machine.CoreID) {
 	now := m.eng.Now()
 	cs := &m.cores[target]
 	cs.claimed = false
+	// A placement can race a hotplug fault: the target went offline while
+	// this enqueue was in flight. Redirect to the nearest online core —
+	// bypassing the policy, which already dropped the dead core, so
+	// progress is guaranteed.
+	if cs.offline {
+		m.obs.Count("cpu.offline_redirect", 1)
+		m.enqueue(t, m.nearestOnline(target))
+		return
+	}
 	t.State = proc.StateRunnable
 	t.Cur = target
 	t.LastWoken = now

@@ -26,11 +26,15 @@ func (m *Machine) Rand() *sim.Rand { return m.rng }
 func (m *Machine) Obs() *obs.Hub { return m.obs }
 
 // IsIdle implements sched.Machine: no running task and nothing queued.
-// An idle-spinning core is still idle for placement.
+// An idle-spinning core is still idle for placement; an offline core
+// never is.
 func (m *Machine) IsIdle(c machine.CoreID) bool {
 	cs := &m.cores[c]
-	return cs.cur == nil && len(cs.queue) == 0
+	return !cs.offline && cs.cur == nil && len(cs.queue) == 0
 }
+
+// Online implements sched.Machine (and invariant.State).
+func (m *Machine) Online(c machine.CoreID) bool { return !m.cores[c].offline }
 
 // QueueLen implements sched.Machine.
 func (m *Machine) QueueLen(c machine.CoreID) int {

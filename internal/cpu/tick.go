@@ -22,7 +22,14 @@ func (m *Machine) tick() {
 	m.samplePass(now)
 
 	if m.liveTasks > 0 {
-		m.eng.After(sim.Tick, m.tick)
+		d := sim.Tick
+		// Injected timer noise: stretch the period by a deterministic
+		// draw. The RNG is only consulted while jitter is active, so
+		// fault-free runs are byte-identical to pre-fault builds.
+		if m.tickJitter > 0 {
+			d += m.rng.Duration(0, m.tickJitter)
+		}
+		m.eng.After(d, m.tick)
 	}
 }
 
@@ -98,6 +105,9 @@ func (m *Machine) freqAndAccountingPass(now sim.Time) {
 
 	for i := range m.cores {
 		cs := &m.cores[i]
+		if cs.offline {
+			continue // parked by the hotplug path; nothing to update
+		}
 		active := cs.cur != nil || cs.spinUntil > now
 		if cs.spinUntil > now {
 			m.res.Counters.SpinTicksTotal++
@@ -216,7 +226,9 @@ func (m *Machine) underloadPass(now sim.Time) {
 			cs.usedInInterval = false
 		}
 		waiting += len(cs.queue)
-		if cs.cur == nil {
+		// Offline cores are not idle capacity: counting them would turn
+		// every hotplug window into phantom overload.
+		if cs.cur == nil && !cs.offline {
 			idle++
 		}
 	}
@@ -244,7 +256,7 @@ func (m *Machine) underloadPass(now sim.Time) {
 func (m *Machine) balancePass() {
 	for i := range m.cores {
 		cs := &m.cores[i]
-		if cs.cur != nil || len(cs.queue) > 0 || cs.claimed {
+		if cs.offline || cs.cur != nil || len(cs.queue) > 0 || cs.claimed {
 			continue
 		}
 		if (m.tickIndex+i)%m.cfg.BalanceEvery != 0 {

@@ -1,0 +1,117 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/invariant"
+	"repro/internal/metrics"
+	"repro/internal/obs"
+)
+
+// resilienceFault names one fault plan of the resilience grid. Times are
+// tuned for the default scale (a run of roughly a third of a second on
+// the 5218): every plan lands mid-run, after the nest has formed and
+// well before the workload drains.
+type resilienceFault struct {
+	name string
+	plan string
+}
+
+var resilienceFaults = []resilienceFault{
+	{"none", ""},
+	// Permanent loss of core 2 — on every paper machine a core the nest
+	// has claimed as primary by 50ms — plus its hyperthread sibling's
+	// later loss, so evacuation and mask compaction both trigger.
+	{"core-loss", "off:c2@50ms"},
+	// A hotplug window: two cores bounce offline and back, forcing
+	// evacuation on the way down and re-integration on the way up.
+	{"hotplug-window", "off:c2@50ms+150ms,off:c3@80ms+150ms"},
+	// Socket 0 thermally throttled to 1.8 GHz for most of the run; the
+	// Table-3 turbo ladder is capped and grants must re-clamp.
+	{"throttle", "throttle:s0@40ms+200ms=1.8GHz"},
+	// Everything at once: tick jitter, a 48-task load spike, and a core
+	// bouncing offline under that load.
+	{"chaos", "jitter:@30ms+250ms=1ms,spike:@60ms=48x2ms,off:c1@80ms+120ms"},
+}
+
+// resilienceConfigs compares the paper's two schedutil contenders under
+// identical fault plans.
+var resilienceConfigs = []config{cfgCFSSched, cfgNestSched}
+
+// resilience runs the CFS-vs-Nest degradation grid: every fault plan,
+// both schedulers, invariants swept after every event. The interesting
+// output is the violations column staying at zero while the runtime
+// degrades gracefully.
+func resilience(opt Options) (*Report, error) {
+	opt.fill()
+	rep := &Report{ID: "resilience", Title: "Graceful degradation under core loss, throttling and load spikes"}
+	wl := "configure/llvm_ninja"
+	for _, mach := range machinesOrDefault(opt, []string{"5218"}) {
+		sec := Section{
+			Heading: mach,
+			Columns: []string{"fault plan", "config", "time (s)", "vs none", "violations", "offline", "evacuated", "nest evac"},
+		}
+		base := map[string]float64{}
+		for _, rf := range resilienceFaults {
+			for _, cfg := range resilienceConfigs {
+				rs := RunSpec{
+					Machine:   mach,
+					Scheduler: cfg.sched,
+					Governor:  cfg.gov,
+					Workload:  wl,
+					Scale:     opt.Scale,
+					Seed:      opt.Seed,
+					Faults:    rf.plan,
+					Obs:       obs.New(),
+					Check:     invariant.New(),
+				}
+				results, err := RunRepeats(rs, opt.Runs)
+				if err != nil {
+					return nil, fmt.Errorf("resilience %s/%s: %w", rf.name, cfg, err)
+				}
+				times := metrics.Runtimes(results)
+				mean := metrics.Mean(times)
+				if rf.name == "none" {
+					base[cfg.String()] = mean
+				}
+				vs := "—"
+				if b := base[cfg.String()]; b > 0 && rf.name != "none" {
+					vs = pct(metrics.Speedup(b, mean))
+				}
+				stats := results[0].Stats
+				sec.Rows = append(sec.Rows, []string{
+					rf.name, cfg.String(),
+					fmt.Sprintf("%.3f ±%.0f%%", mean, cellStd(times)),
+					vs,
+					fmt.Sprintf("%d", rs.Check.Total()),
+					fmt.Sprintf("%d", stats.Counter("fault.offline")),
+					fmt.Sprintf("%d", stats.Counter("cpu.evacuated")),
+					fmt.Sprintf("%d", stats.Counter("nest.evacuate")),
+				})
+			}
+		}
+		sec.Notes = append(sec.Notes,
+			"violations must be zero: the invariant checker sweeps the full machine state after every event",
+			"fault plans are timed for the default scale; at much smaller scales the run may end before a fault lands",
+		)
+		rep.Sections = append(rep.Sections, sec)
+	}
+	return rep, nil
+}
+
+// cellStd is the relative stddev of times, in percent.
+func cellStd(ts []float64) float64 {
+	m := metrics.Mean(ts)
+	if m == 0 {
+		return 0
+	}
+	return 100 * metrics.Stddev(ts) / m
+}
+
+func init() {
+	registerExperiment(&Experiment{
+		ID:    "resilience",
+		Title: "CFS vs Nest under deterministic fault injection (hotplug, throttle, jitter, spike)",
+		Run:   resilience,
+	})
+}

@@ -9,7 +9,9 @@ import (
 	"repro/internal/cfs"
 	nest "repro/internal/core"
 	"repro/internal/cpu"
+	"repro/internal/fault"
 	"repro/internal/governor"
+	"repro/internal/invariant"
 	"repro/internal/machine"
 	"repro/internal/metrics"
 	"repro/internal/naive"
@@ -125,6 +127,13 @@ type RunSpec struct {
 	// layer of the run (see internal/obs and docs/OBSERVABILITY.md).
 	Obs   *obs.Hub
 	Limit sim.Time // 0 = none
+	// Faults, when non-empty, is a fault plan in the internal/fault DSL
+	// (e.g. "off:c3@2s+500ms,throttle:s0@1s=2.1GHz") applied to the run.
+	Faults string
+	// Check, when non-nil, is bound to the machine and sweeps the
+	// scheduler invariants after every event (see internal/invariant).
+	// Like the other observers it attaches to the first repeat only.
+	Check *invariant.Checker
 }
 
 // Run executes one configuration and returns its measurements.
@@ -154,6 +163,13 @@ func RunOnSpec(spec *machine.Spec, rs RunSpec) (*metrics.Result, error) {
 	if rs.Scale <= 0 {
 		rs.Scale = DefaultScale
 	}
+	plan, err := fault.Parse(rs.Faults)
+	if err != nil {
+		return nil, err
+	}
+	if err := plan.Validate(spec); err != nil {
+		return nil, err
+	}
 	if h := rs.Obs; h.Enabled() {
 		mname := rs.Machine
 		if mname == "" {
@@ -164,6 +180,9 @@ func RunOnSpec(spec *machine.Spec, rs RunSpec) (*metrics.Result, error) {
 			Workload: rs.Workload, Scale: rs.Scale, Seed: rs.Seed,
 		})
 	}
+	if rs.Check != nil {
+		rs.Check.SetObs(rs.Obs)
+	}
 	m := cpu.New(cpu.Config{
 		Spec:     spec,
 		Gov:      gov,
@@ -173,11 +192,44 @@ func RunOnSpec(spec *machine.Spec, rs RunSpec) (*metrics.Result, error) {
 		Series:   rs.Series,
 		Timeline: rs.Timeline,
 		Obs:      rs.Obs,
+		Check:    rs.Check,
 	})
+	plan.Apply(m)
 	w.Install(m, rs.Scale)
 	res := m.Run(rs.Limit)
 	res.Workload = rs.Workload
+	if rs.Check != nil {
+		res.SetCustom("invariant_violations", float64(rs.Check.Total()))
+	}
 	return res, nil
+}
+
+// Validate checks rs's names, parameters and fault plan without running
+// anything, so CLIs can reject bad flags as usage errors instead of
+// surfacing a panic or a failure mid-run. Custom workloads must be
+// registered before calling it.
+func (rs RunSpec) Validate() error {
+	spec, err := machine.Preset(rs.Machine)
+	if err != nil {
+		return err
+	}
+	if _, err := Schedulers(rs.Scheduler); err != nil {
+		return err
+	}
+	if _, err := governor.ByName(rs.Governor); err != nil {
+		return err
+	}
+	if _, err := workload.ByName(rs.Workload); err != nil {
+		return err
+	}
+	if rs.Scale < 0 {
+		return fmt.Errorf("experiments: scale must not be negative, got %g (0 selects the default)", rs.Scale)
+	}
+	plan, err := fault.Parse(rs.Faults)
+	if err != nil {
+		return err
+	}
+	return plan.Validate(spec)
 }
 
 // DefaultScale shortens workloads to ~1/25 of paper length so the full
@@ -194,7 +246,7 @@ func RunRepeats(rs RunSpec, n int) ([]*metrics.Result, error) {
 		r := rs
 		r.Seed = rs.Seed + uint64(i)
 		if i > 0 {
-			r.Trace, r.Series, r.Timeline, r.Obs = nil, nil, nil, nil
+			r.Trace, r.Series, r.Timeline, r.Obs, r.Check = nil, nil, nil, nil, nil
 		}
 		res, err := Run(r)
 		if err != nil {

@@ -1,0 +1,53 @@
+package fault
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/machine"
+)
+
+// FuzzParseFaultPlan checks the parser never panics and that every
+// accepted plan survives a canonicalisation round trip: String() must
+// re-parse to the identical plan and be a fixpoint.
+func FuzzParseFaultPlan(f *testing.F) {
+	seeds := []string{
+		"",
+		"off:c3@2s+500ms,throttle:s0@1s=2.1GHz",
+		"on:c1@5ms",
+		"off:c0@0ns",
+		"jitter:@1s+2s=1ms",
+		"spike:@100ms=32x2ms",
+		"throttle:s1@3s=800MHz",
+		"off:c3@2s+500ms,off:c3@4s+1ms,on:c3@6s",
+		"off:c1@1.5s",
+		"spike:@0ns=1x1ns",
+		"throttle:s0@1s+1s=2GHz,jitter:@2s=4ms",
+		"off:c1@99999999999999999s",
+		"explode:c1@1s",
+		"off:c1@1s+",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	spec := &machine.Spec{Topo: machine.New("fuzz", 2, 4, 2), Min: 1000, Nominal: 2000}
+	f.Fuzz(func(t *testing.T, s string) {
+		p, err := Parse(s)
+		if err != nil {
+			return // rejected input: only the absence of a panic matters
+		}
+		canon := p.String()
+		p2, err := Parse(canon)
+		if err != nil {
+			t.Fatalf("canonical %q of %q fails to re-parse: %v", canon, s, err)
+		}
+		if !reflect.DeepEqual(p, p2) {
+			t.Fatalf("round trip of %q changed the plan: %+v != %+v", s, p, p2)
+		}
+		if again := p2.String(); again != canon {
+			t.Fatalf("canonical form not a fixpoint: %q -> %q", canon, again)
+		}
+		// Validation must classify, never panic.
+		_ = p.Validate(spec)
+	})
+}

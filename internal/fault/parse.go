@@ -1,0 +1,241 @@
+package fault
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/machine"
+	"repro/internal/sim"
+)
+
+// Parse parses the fault-plan DSL: comma-separated items, each
+//
+//	off:c<N>@<time>[+<dur>]          core N offline at <time>, back after <dur>
+//	on:c<N>@<time>                   core N online at <time>
+//	throttle:s<N>@<time>[+<dur>]=<freq>  socket N capped at <freq>
+//	jitter:@<time>[+<dur>]=<amp>     tick jitter up to <amp>
+//	spike:@<time>=<N>x<work>         N injected tasks of <work> compute each
+//
+// Times and durations are a number plus ns/us/ms/s; frequencies a number
+// plus MHz/GHz. Example:
+//
+//	off:c3@2s+500ms,throttle:s0@1s=2.1GHz
+//
+// Parse checks only syntax; Validate checks the plan against a machine.
+func Parse(s string) (*Plan, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return &Plan{}, nil
+	}
+	var p Plan
+	for _, part := range strings.Split(s, ",") {
+		it, err := parseItem(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("fault item %q: %w", part, err)
+		}
+		p.Items = append(p.Items, it)
+	}
+	return &p, nil
+}
+
+func parseItem(s string) (Item, error) {
+	head, rest, ok := strings.Cut(s, ":")
+	if !ok {
+		return Item{}, fmt.Errorf("missing ':' (want kind:target@time)")
+	}
+	switch head {
+	case "off", "on":
+		return parseHotplug(head, rest)
+	case "throttle":
+		return parseThrottle(rest)
+	case "jitter":
+		return parseJitter(rest)
+	case "spike":
+		return parseSpike(rest)
+	}
+	return Item{}, fmt.Errorf("unknown fault kind %q (want off/on/throttle/jitter/spike)", head)
+}
+
+// parseHotplug handles "c<N>@<time>[+<dur>]" for off and on.
+func parseHotplug(kind, s string) (Item, error) {
+	target, when, ok := strings.Cut(s, "@")
+	if !ok {
+		return Item{}, fmt.Errorf("missing '@' before time")
+	}
+	core, err := parseIndex(target, 'c')
+	if err != nil {
+		return Item{}, err
+	}
+	it := Item{Kind: Offline, Core: machine.CoreID(core)}
+	if kind == "on" {
+		it.Kind = Online
+		if strings.Contains(when, "+") {
+			return it, fmt.Errorf("on: takes no +duration window")
+		}
+	}
+	it.At, it.Dur, err = parseWindow(when)
+	return it, err
+}
+
+// parseThrottle handles "s<N>@<time>[+<dur>]=<freq>".
+func parseThrottle(s string) (Item, error) {
+	target, rest, ok := strings.Cut(s, "@")
+	if !ok {
+		return Item{}, fmt.Errorf("missing '@' before time")
+	}
+	sock, err := parseIndex(target, 's')
+	if err != nil {
+		return Item{}, err
+	}
+	when, cap, ok := strings.Cut(rest, "=")
+	if !ok {
+		return Item{}, fmt.Errorf("missing '=<freq>' cap")
+	}
+	it := Item{Kind: Throttle, Socket: sock}
+	if it.At, it.Dur, err = parseWindow(when); err != nil {
+		return it, err
+	}
+	it.Cap, err = parseFreq(cap)
+	return it, err
+}
+
+// parseJitter handles "@<time>[+<dur>]=<amp>".
+func parseJitter(s string) (Item, error) {
+	if !strings.HasPrefix(s, "@") {
+		return Item{}, fmt.Errorf("missing '@' before time")
+	}
+	when, amp, ok := strings.Cut(s[1:], "=")
+	if !ok {
+		return Item{}, fmt.Errorf("missing '=<amplitude>'")
+	}
+	it := Item{Kind: Jitter}
+	var err error
+	if it.At, it.Dur, err = parseWindow(when); err != nil {
+		return it, err
+	}
+	it.Amp, err = parseDur(amp)
+	return it, err
+}
+
+// parseSpike handles "@<time>=<N>x<work>".
+func parseSpike(s string) (Item, error) {
+	if !strings.HasPrefix(s, "@") {
+		return Item{}, fmt.Errorf("missing '@' before time")
+	}
+	when, burst, ok := strings.Cut(s[1:], "=")
+	if !ok {
+		return Item{}, fmt.Errorf("missing '=<count>x<work>'")
+	}
+	it := Item{Kind: Spike}
+	var err error
+	if it.At, err = parseDur(when); err != nil {
+		return it, err
+	}
+	count, work, ok := strings.Cut(burst, "x")
+	if !ok {
+		return it, fmt.Errorf("missing 'x' in %q (want <count>x<work>)", burst)
+	}
+	if it.Count, err = strconv.Atoi(count); err != nil {
+		return it, fmt.Errorf("bad task count %q", count)
+	}
+	it.Work, err = parseDur(work)
+	return it, err
+}
+
+// parseWindow splits "<time>[+<dur>]".
+func parseWindow(s string) (at sim.Time, dur sim.Duration, err error) {
+	when, d, windowed := strings.Cut(s, "+")
+	if at, err = parseDur(when); err != nil {
+		return 0, 0, err
+	}
+	if windowed {
+		if dur, err = parseDur(d); err != nil {
+			return 0, 0, err
+		}
+		if dur == 0 {
+			return 0, 0, fmt.Errorf("zero-length +duration window")
+		}
+	}
+	return at, dur, nil
+}
+
+// parseIndex parses "<prefix><N>", e.g. "c3" or "s0".
+func parseIndex(s string, prefix byte) (int, error) {
+	if len(s) < 2 || s[0] != prefix {
+		return 0, fmt.Errorf("bad target %q (want %c<N>)", s, prefix)
+	}
+	n, err := strconv.Atoi(s[1:])
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("bad target %q (want %c<N>)", s, prefix)
+	}
+	return n, nil
+}
+
+// maxDur bounds parsed durations to ~11.5 simulated days. Besides
+// rejecting typos, it keeps every representable duration below 2^53 ns
+// so canonical output re-parses to the identical value through float64.
+const maxDur = sim.Duration(1e15)
+
+// parseDur parses "<number><unit>" with unit ns/us/ms/s.
+func parseDur(s string) (sim.Duration, error) {
+	num, unit := splitNumber(s)
+	if num == "" {
+		return 0, fmt.Errorf("bad duration %q (want e.g. 500ms)", s)
+	}
+	v, err := strconv.ParseFloat(num, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad duration %q", s)
+	}
+	var scale sim.Duration
+	switch unit {
+	case "ns":
+		scale = sim.Nanosecond
+	case "us":
+		scale = sim.Microsecond
+	case "ms":
+		scale = sim.Millisecond
+	case "s":
+		scale = sim.Second
+	default:
+		return 0, fmt.Errorf("bad duration unit %q (want ns/us/ms/s)", unit)
+	}
+	d := v * float64(scale)
+	if d != d || d > float64(maxDur) {
+		return 0, fmt.Errorf("duration %q out of range", s)
+	}
+	return sim.Duration(d), nil
+}
+
+// parseFreq parses "<number>MHz" or "<number>GHz" into MHz.
+func parseFreq(s string) (machine.FreqMHz, error) {
+	num, unit := splitNumber(s)
+	if num == "" {
+		return 0, fmt.Errorf("bad frequency %q (want e.g. 2.1GHz)", s)
+	}
+	v, err := strconv.ParseFloat(num, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad frequency %q", s)
+	}
+	switch unit {
+	case "GHz":
+		v *= 1000
+	case "MHz":
+	default:
+		return 0, fmt.Errorf("bad frequency unit %q (want MHz/GHz)", unit)
+	}
+	f := machine.FreqMHz(v + 0.5)
+	if v != v || f < 1 || v > 1e6 {
+		return 0, fmt.Errorf("frequency %q out of range", s)
+	}
+	return f, nil
+}
+
+// splitNumber cuts a leading decimal number off s.
+func splitNumber(s string) (num, rest string) {
+	i := 0
+	for i < len(s) && (s[i] >= '0' && s[i] <= '9' || s[i] == '.') {
+		i++
+	}
+	return s[:i], s[i:]
+}

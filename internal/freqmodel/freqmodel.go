@@ -55,6 +55,11 @@ type Model struct {
 	up    float64
 	down  float64
 
+	// caps holds per-socket thermal throttle ceilings (0 = unthrottled):
+	// an external cap on the Table-3 turbo ladder, injected by the fault
+	// plan (internal/fault). Every grant is clamped below the cap.
+	caps []machine.FreqMHz
+
 	// obs/now feed frequency-grant events to the observability layer.
 	// The model has no clock of its own, so the runtime injects one.
 	obs *obs.Hub
@@ -84,6 +89,7 @@ func New(spec *machine.Spec) *Model {
 	m := &Model{
 		spec:  spec,
 		cores: make([]Core, spec.Topo.NumCores()),
+		caps:  make([]machine.FreqMHz, spec.Topo.NumSockets()),
 	}
 	m.up, m.down = rampRates(spec.Ramp)
 	for i := range m.cores {
@@ -101,6 +107,64 @@ func (m *Model) Cur(c machine.CoreID) machine.FreqMHz {
 	return machine.FreqMHz(m.cores[c].cur + 0.5)
 }
 
+// SocketCap returns socket s's thermal throttle ceiling (0 when
+// unthrottled).
+func (m *Model) SocketCap(s int) machine.FreqMHz { return m.caps[s] }
+
+// SetSocketCap installs (or, with cap <= 0, clears) a thermal throttle
+// ceiling on socket s. Throttling is immediate, as real thermal events
+// are: every core already above the cap is clamped down on the spot and
+// its observable tick sample clamped with it. The caller must book task
+// progress at the old frequencies before calling this.
+func (m *Model) SetSocketCap(s int, cap machine.FreqMHz) {
+	if cap < 0 {
+		cap = 0
+	}
+	m.caps[s] = cap
+	if cap == 0 {
+		return
+	}
+	for _, c := range m.spec.Topo.SocketCores(s) {
+		cs := &m.cores[c]
+		if cs.cur > float64(cap) {
+			cs.cur = float64(cap)
+			m.emitGrant(c, float64(cap), 0, "throttle")
+		}
+		if cs.tickSample > cap {
+			cs.tickSample = cap
+		}
+	}
+}
+
+// clampCap applies core c's socket throttle ceiling to a target
+// frequency.
+func (m *Model) clampCap(c machine.CoreID, f float64) float64 {
+	if cap := m.caps[m.spec.Topo.Socket(c)]; cap > 0 && f > float64(cap) {
+		return float64(cap)
+	}
+	return f
+}
+
+// CapFor returns the highest frequency core c may currently be granted:
+// the single-active-core turbo ceiling clamped by any thermal throttle
+// on its socket. The invariant checker validates every core against
+// this bound.
+func (m *Model) CapFor(c machine.CoreID) machine.FreqMHz {
+	limit := m.spec.MaxTurbo()
+	if cap := m.caps[m.spec.Topo.Socket(c)]; cap > 0 && cap < limit {
+		limit = cap
+	}
+	return limit
+}
+
+// Park resets core c to the machine minimum with a matching tick
+// sample — the state a core comes back up in after a hotplug cycle.
+func (m *Model) Park(c machine.CoreID) {
+	cs := &m.cores[c]
+	cs.cur = m.clampCap(c, float64(m.spec.Min))
+	cs.tickSample = machine.FreqMHz(cs.cur + 0.5)
+}
+
 // Boost applies the hardware's sub-tick reaction to a core becoming
 // active: one partial ramp step toward the granted target, without
 // touching the tick sample. Modern HWP reacts within a few hundred
@@ -108,7 +172,7 @@ func (m *Model) Cur(c machine.CoreID) machine.FreqMHz {
 // slowly, so short tasks placed on its cold cores stay slow.
 func (m *Model) Boost(c machine.CoreID, req governor.Request, activePhys int, hwUtil float64) machine.FreqMHz {
 	cs := &m.cores[c]
-	target := m.activeTarget(req, activePhys, hwUtil)
+	target := m.clampCap(c, m.activeTarget(req, activePhys, hwUtil))
 	if target > cs.cur {
 		cs.cur += (target - cs.cur) * m.up * 0.8
 	}
@@ -192,13 +256,13 @@ func (m *Model) TickUpdate(c machine.CoreID, active bool, req governor.Request, 
 
 	var target float64
 	if active {
-		target = m.activeTarget(req, activePhys, hwUtil)
+		target = m.clampCap(c, m.activeTarget(req, activePhys, hwUtil))
 		m.emitGrant(c, target, activePhys, "tick")
 	} else {
 		// Idle: clock decays toward the governor floor (performance
 		// keeps idle cores parked at nominal; schedutil lets them fall
-		// to the machine minimum).
-		target = float64(req.Floor)
+		// to the machine minimum). A thermal throttle caps the floor too.
+		target = m.clampCap(c, float64(req.Floor))
 	}
 
 	if target > cs.cur {

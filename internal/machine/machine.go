@@ -62,10 +62,22 @@ type Topology struct {
 }
 
 // New constructs a topology with the given socket count, physical cores
-// per socket, and SMT width (1 or 2).
+// per socket, and SMT width (1 or 2). It panics on invalid dimensions;
+// callers handling external input (CLI flags) should use NewChecked and
+// report the error instead.
 func New(name string, sockets, physPerSocket, smt int) *Topology {
+	t, err := NewChecked(name, sockets, physPerSocket, smt)
+	if err != nil {
+		panic(err.Error())
+	}
+	return t
+}
+
+// NewChecked is New returning an error instead of panicking, for
+// validating untrusted topology descriptions at a program boundary.
+func NewChecked(name string, sockets, physPerSocket, smt int) (*Topology, error) {
 	if sockets <= 0 || physPerSocket <= 0 || smt < 1 || smt > 2 {
-		panic(fmt.Sprintf("machine: invalid topology %d sockets × %d cores × SMT%d", sockets, physPerSocket, smt))
+		return nil, fmt.Errorf("machine: invalid topology %d sockets × %d cores × SMT%d", sockets, physPerSocket, smt)
 	}
 	t := &Topology{
 		name:        name,
@@ -96,7 +108,7 @@ func New(name string, sockets, physPerSocket, smt int) *Topology {
 		}
 		t.bySocket[sock] = append(t.bySocket[sock], CoreID(id))
 	}
-	return t
+	return t, nil
 }
 
 // Name returns the model name of the machine.

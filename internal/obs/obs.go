@@ -281,6 +281,45 @@ func (GovernorRequest) Kind() string { return "governor_request" }
 
 func (GovernorRequest) count(c *Counters) { c.Add("gov.request", 1) }
 
+// Fault is an injected fault-plan action taking effect (see
+// internal/fault and docs/ROBUSTNESS.md). Actions: "offline", "online",
+// "offline_refused" (the runtime refused to kill the last online core),
+// "throttle", "unthrottle", "jitter", "spike". Core is -1 for
+// socket-level and machine-level actions; Socket is -1 for core-level
+// ones.
+type Fault struct {
+	T      sim.Time `json:"t_ns"`
+	Action string   `json:"action"`
+	Core   int      `json:"core"`
+	Socket int      `json:"socket"`
+	CapMHz int      `json:"cap_mhz,omitempty"`
+	// Tasks counts evacuated tasks (offline) or spawned tasks (spike).
+	Tasks int `json:"tasks,omitempty"`
+}
+
+// Kind implements Event.
+func (Fault) Kind() string { return "fault" }
+
+func (e Fault) count(c *Counters) { c.Add("fault."+e.Action, 1) }
+
+// InvariantViolation is a structural invariant failing after a
+// scheduling event (see internal/invariant). A healthy run — faults or
+// not — records zero of these; any occurrence is a bug in a policy or
+// the runtime.
+type InvariantViolation struct {
+	T      sim.Time `json:"t_ns"`
+	Rule   string   `json:"rule"`
+	Detail string   `json:"detail"`
+}
+
+// Kind implements Event.
+func (InvariantViolation) Kind() string { return "invariant_violation" }
+
+func (e InvariantViolation) count(c *Counters) {
+	c.Add("invariant.violation", 1)
+	c.Add("invariant."+e.Rule, 1)
+}
+
 // TickBalance is a load-balance pull: Kind2 is "newidle" (idle-entry
 // pull) or "periodic" (tick-driven balance pass).
 type TickBalance struct {

@@ -30,8 +30,13 @@ type Machine interface {
 	Obs() *obs.Hub
 
 	// IsIdle reports whether core c has no running task and an empty run
-	// queue. Idle spinning does not make a core busy for placement.
+	// queue. Idle spinning does not make a core busy for placement. An
+	// offline core is never idle: every idle-based search skips it.
 	IsIdle(c machine.CoreID) bool
+	// Online reports whether core c can execute tasks. Cores go offline
+	// only through fault injection (internal/fault); load-based searches
+	// that do not go through IsIdle must skip offline cores themselves.
+	Online(c machine.CoreID) bool
 	// QueueLen returns the number of runnable tasks on c, including the
 	// running one.
 	QueueLen(c machine.CoreID) int
@@ -103,6 +108,17 @@ type Policy interface {
 	// IdleSpin returns how long a newly idle core should keep spinning to
 	// stay warm (zero for CFS; up to S_max for Nest, §3.2).
 	IdleSpin(m Machine, c machine.CoreID) sim.Duration
+
+	// CoreOffline reports that c went offline (hotplug fault injection).
+	// The runtime has already evacuated c's tasks; policies must drop any
+	// per-core state referencing c (Nest compacts its masks) before
+	// placement resumes.
+	CoreOffline(m Machine, c machine.CoreID)
+
+	// CoreOnline reports that c came back online. The core returns cold
+	// and idle; policies need not do anything (Nest re-adopts it through
+	// the normal probation path).
+	CoreOnline(m Machine, c machine.CoreID)
 }
 
 // Base provides no-op hook implementations so simple policies only
@@ -120,3 +136,9 @@ func (Base) Exited(Machine, *proc.Task, machine.CoreID, bool) {}
 
 // IdleSpin implements Policy.
 func (Base) IdleSpin(Machine, machine.CoreID) sim.Duration { return 0 }
+
+// CoreOffline implements Policy.
+func (Base) CoreOffline(Machine, machine.CoreID) {}
+
+// CoreOnline implements Policy.
+func (Base) CoreOnline(Machine, machine.CoreID) {}

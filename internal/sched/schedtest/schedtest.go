@@ -20,6 +20,7 @@ type Fake struct {
 	Hub   *obs.Hub // nil = observability off, as in the real runtime
 
 	Busy     map[machine.CoreID]bool
+	Offline  map[machine.CoreID]bool
 	Queue    map[machine.CoreID]int
 	Load     map[machine.CoreID]float64
 	Freq     map[machine.CoreID]machine.FreqMHz
@@ -49,6 +50,7 @@ func NewFake(spec *machine.Spec) *Fake {
 		SpecV:    spec,
 		Rng:      sim.NewRand(1),
 		Busy:     map[machine.CoreID]bool{},
+		Offline:  map[machine.CoreID]bool{},
 		Queue:    map[machine.CoreID]int{},
 		Load:     map[machine.CoreID]float64{},
 		Freq:     map[machine.CoreID]machine.FreqMHz{},
@@ -82,7 +84,12 @@ func (f *Fake) Rand() *sim.Rand { return f.Rng }
 func (f *Fake) Obs() *obs.Hub { return f.Hub }
 
 // IsIdle implements sched.Machine.
-func (f *Fake) IsIdle(c machine.CoreID) bool { return !f.Busy[c] && f.Queue[c] == 0 }
+func (f *Fake) IsIdle(c machine.CoreID) bool {
+	return !f.Offline[c] && !f.Busy[c] && f.Queue[c] == 0
+}
+
+// Online implements sched.Machine.
+func (f *Fake) Online(c machine.CoreID) bool { return !f.Offline[c] }
 
 // QueueLen implements sched.Machine.
 func (f *Fake) QueueLen(c machine.CoreID) int {

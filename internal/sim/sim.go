@@ -95,6 +95,10 @@ type Engine struct {
 	queue eventQueue
 	// steps counts processed events, for run-away detection in tests.
 	steps uint64
+	// onStep, when set, runs after every processed event — the hook the
+	// invariant checker (internal/invariant) uses to validate machine
+	// state after each scheduling event. Nil costs nothing.
+	onStep func()
 }
 
 // NewEngine returns an engine with the clock at zero and an empty queue.
@@ -107,6 +111,10 @@ func (e *Engine) Now() Time { return e.now }
 
 // Steps returns the number of events processed so far.
 func (e *Engine) Steps() uint64 { return e.steps }
+
+// OnStep registers fn to run after every processed event (nil clears
+// it). One hook at a time: registering replaces the previous one.
+func (e *Engine) OnStep(fn func()) { e.onStep = fn }
 
 // Pending returns the number of queued events.
 func (e *Engine) Pending() int { return len(e.queue) }
@@ -172,6 +180,9 @@ func (e *Engine) Step() bool {
 	ev.fn = nil
 	e.steps++
 	fn()
+	if e.onStep != nil {
+		e.onStep()
+	}
 	return true
 }
 
