@@ -1,0 +1,172 @@
+// Command benchjson distils `go test -bench` text output into a stable
+// JSON document, the format of the repository's tracked benchmark
+// baseline BENCH_nest.json (see docs/PERFORMANCE.md).
+//
+// Usage:
+//
+//	go test -bench . -benchmem ./... | benchjson > BENCH_nest.json
+//	benchjson -in bench.txt -out BENCH_nest.json
+//
+// Benchmarks are keyed by (package, name) and sorted, so the output is
+// byte-stable for identical measurements and diffs cleanly across runs.
+// The tool fails if the input contains no benchmark lines at all —
+// catching a silently broken bench invocation in CI.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed benchmark result line.
+type Benchmark struct {
+	Pkg        string `json:"pkg,omitempty"`
+	Name       string `json:"name"`
+	Iterations int64  `json:"iterations"`
+	// Metrics maps unit → value for every "value unit" pair on the
+	// line: the standard ns/op, B/op, allocs/op and any custom
+	// b.ReportMetric units (ns/sim_s, cells/s, events/s, ...).
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// Baseline is the whole document.
+type Baseline struct {
+	Goos       string      `json:"goos,omitempty"`
+	Goarch     string      `json:"goarch,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+func main() {
+	var (
+		in  = flag.String("in", "", "input file (default: stdin)")
+		out = flag.String("out", "", "output file (default: stdout)")
+	)
+	flag.Parse()
+
+	r := io.Reader(os.Stdin)
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		r = f
+	}
+	base, err := Parse(r)
+	if err != nil {
+		fatal(err)
+	}
+	w := io.Writer(os.Stdout)
+	var outF *os.File
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		outF = f
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(base); err != nil {
+		fatal(err)
+	}
+	if outF != nil {
+		if err := outF.Close(); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}
+
+// Parse reads `go test -bench` output and returns the distilled
+// baseline. It errors when no benchmark lines were found.
+func Parse(r io.Reader) (*Baseline, error) {
+	base := &Baseline{}
+	pkg := ""
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			base.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			base.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "cpu:"):
+			base.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		case strings.HasPrefix(line, "pkg:"):
+			pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+		case strings.HasPrefix(line, "Benchmark"):
+			b, err := parseBenchLine(line)
+			if err != nil {
+				return nil, fmt.Errorf("%w (line: %q)", err, line)
+			}
+			if b != nil {
+				b.Pkg = pkg
+				base.Benchmarks = append(base.Benchmarks, *b)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(base.Benchmarks) == 0 {
+		return nil, fmt.Errorf("no benchmark result lines found in input")
+	}
+	sort.Slice(base.Benchmarks, func(i, j int) bool {
+		a, b := base.Benchmarks[i], base.Benchmarks[j]
+		if a.Pkg != b.Pkg {
+			return a.Pkg < b.Pkg
+		}
+		return a.Name < b.Name
+	})
+	return base, nil
+}
+
+// parseBenchLine parses one result line:
+//
+//	BenchmarkName-8   3   6737968 ns/op   14178 events/run   891717 B/op
+//
+// i.e. name, iteration count, then value-unit pairs. Returns (nil, nil)
+// for lines that start with "Benchmark" but are not results (a bare
+// name printed by -v, for example).
+func parseBenchLine(line string) (*Benchmark, error) {
+	fields := strings.Fields(line)
+	if len(fields) < 2 {
+		return nil, nil
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return nil, nil // "BenchmarkX ... some log output", not a result line
+	}
+	b := &Benchmark{
+		Name:       fields[0],
+		Iterations: iters,
+		Metrics:    map[string]float64{},
+	}
+	rest := fields[2:]
+	if len(rest) == 0 || len(rest)%2 != 0 {
+		return nil, fmt.Errorf("malformed benchmark line: want value/unit pairs after the iteration count")
+	}
+	for i := 0; i < len(rest); i += 2 {
+		v, err := strconv.ParseFloat(rest[i], 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad metric value %q: %v", rest[i], err)
+		}
+		b.Metrics[rest[i+1]] = v
+	}
+	return b, nil
+}

@@ -1,0 +1,52 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: repro/internal/cpu
+cpu: Intel(R) Xeon(R)
+BenchmarkRuntimeNest            	       3	   7275469 ns/op	     17533 events/run	   2409997 events/s	  997114 B/op	   36634 allocs/op
+BenchmarkRuntimeCFS-8           	       3	   6737968 ns/op	  891717 B/op	   33581 allocs/op
+PASS
+ok  	repro/internal/cpu	0.108s
+pkg: repro
+BenchmarkGridSerial             	       1	 123456789 ns/op	        12.50 cells/s
+ok  	repro	0.5s
+`
+
+func TestParse(t *testing.T) {
+	base, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Goos != "linux" || base.Goarch != "amd64" {
+		t.Errorf("goos/goarch = %q/%q", base.Goos, base.Goarch)
+	}
+	if len(base.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(base.Benchmarks))
+	}
+	// Sorted by (pkg, name): pkg "repro" before "repro/internal/cpu".
+	if base.Benchmarks[0].Name != "BenchmarkGridSerial" {
+		t.Errorf("first benchmark = %q", base.Benchmarks[0].Name)
+	}
+	if got := base.Benchmarks[0].Metrics["cells/s"]; got != 12.5 {
+		t.Errorf("cells/s = %v", got)
+	}
+	nest := base.Benchmarks[2]
+	if nest.Name != "BenchmarkRuntimeNest" || nest.Iterations != 3 {
+		t.Fatalf("unexpected benchmark %+v", nest)
+	}
+	if nest.Metrics["allocs/op"] != 36634 || nest.Metrics["events/s"] != 2409997 {
+		t.Errorf("metrics = %v", nest.Metrics)
+	}
+}
+
+func TestParseRejectsEmpty(t *testing.T) {
+	if _, err := Parse(strings.NewReader("PASS\nok \trepro\t0.1s\n")); err == nil {
+		t.Fatal("expected an error for input without benchmarks")
+	}
+}

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -30,6 +31,8 @@ func main() {
 		machines = flag.String("machines", "", "comma-separated machine presets (default: experiment's own)")
 		format   = flag.String("format", "text", "output format: text, csv or json")
 		events   = flag.String("events", "", "stream decision events (first run of each cell) as JSONL to this file")
+		parallel = flag.Int("parallel", 1, "grid workers: 1 = serial, -1 = GOMAXPROCS (results are byte-identical either way)")
+		keep     = flag.Bool("keep-going", false, "run every cell and report all failures instead of stopping at the first")
 	)
 	flag.Parse()
 
@@ -51,7 +54,11 @@ func main() {
 		fmt.Fprintln(os.Stderr, "experiments: -scale must not be negative")
 		os.Exit(2)
 	}
-	opt := experiments.Options{Scale: *scale, Runs: *runs, Seed: *seed}
+	if *parallel == 0 {
+		fmt.Fprintln(os.Stderr, "experiments: -parallel must be 1 (serial), > 1, or -1 for GOMAXPROCS")
+		os.Exit(2)
+	}
+	opt := experiments.Options{Scale: *scale, Runs: *runs, Seed: *seed, Parallel: *parallel, KeepGoing: *keep}
 	if *machines != "" {
 		opt.Machines = strings.Split(*machines, ",")
 		for _, m := range opt.Machines {
@@ -78,6 +85,7 @@ func main() {
 	if *runID == "all" {
 		ids = experiments.List()
 	}
+	failed := false
 	for _, id := range ids {
 		e, err := experiments.ByID(id)
 		if err != nil {
@@ -87,7 +95,11 @@ func main() {
 		start := time.Now()
 		rep, err := e.Run(opt)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "experiments:", err)
+			reportRunError(id, err)
+			if *keep {
+				failed = true
+				continue
+			}
 			os.Exit(1)
 		}
 		switch *format {
@@ -117,4 +129,47 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "wrote %d events to %s\n", jsonl.Lines(), *events)
 	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// reportRunError prints every failing cell with its RunSpec string (one
+// line per cell) instead of a single bare error, so a broken cell in a
+// big grid is attributable at a glance.
+func reportRunError(id string, err error) {
+	cells := cellErrors(err)
+	if len(cells) == 0 {
+		fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", id, err)
+		return
+	}
+	for _, ce := range cells {
+		fmt.Fprintf(os.Stderr, "experiments: %s: cell %d [%s]: %v\n", id, ce.Index, ce.Spec, ce.Err)
+	}
+}
+
+// cellErrors unwraps err (possibly an errors.Join of several grids'
+// failures) into its CellError leaves.
+func cellErrors(err error) []*experiments.CellError {
+	var out []*experiments.CellError
+	var walk func(error)
+	walk = func(e error) {
+		if e == nil {
+			return
+		}
+		// Descend into joins before errors.As: As would stop at the first
+		// leaf of a joined tree and hide the other failing cells.
+		if joined, ok := e.(interface{ Unwrap() []error }); ok {
+			for _, sub := range joined.Unwrap() {
+				walk(sub)
+			}
+			return
+		}
+		var ce *experiments.CellError
+		if errors.As(e, &ce) {
+			out = append(out, ce)
+		}
+	}
+	walk(err)
+	return out
 }

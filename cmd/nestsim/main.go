@@ -52,6 +52,7 @@ func main() {
 		promOut      = flag.String("prom", "", "write the counter registry in Prometheus text exposition to this file")
 		faultsSpec   = flag.String("faults", "", "fault plan, e.g. \"off:c3@2s+500ms,throttle:s0@1s=2.1GHz\" (see docs/ROBUSTNESS.md)")
 		invariantsOn = flag.Bool("invariants", false, "sweep scheduler invariants after every event (first run only); exit non-zero on any violation")
+		parallel     = flag.Int("parallel", 1, "workers for repeat mode: 1 = serial, -1 = GOMAXPROCS (results are byte-identical either way)")
 	)
 	flag.Parse()
 
@@ -85,6 +86,10 @@ func main() {
 		fmt.Fprintln(os.Stderr, "nestsim: -runs must be at least 1")
 		os.Exit(2)
 	}
+	if *parallel == 0 {
+		fmt.Fprintln(os.Stderr, "nestsim: -parallel must be 1 (serial), > 1, or -1 for GOMAXPROCS")
+		os.Exit(2)
+	}
 	rs := experiments.RunSpec{
 		Machine: *machineName, Scheduler: *schedName, Governor: *govName,
 		Workload: *wlName, Scale: *scale, Seed: *seed, Faults: *faultsSpec,
@@ -98,7 +103,7 @@ func main() {
 	}
 
 	if *compare {
-		if err := runCompare(*machineName, *wlName, *scale, *runs, *seed, *faultsSpec, *invariantsOn); err != nil {
+		if err := runCompare(*machineName, *wlName, *scale, *runs, *seed, *faultsSpec, *invariantsOn, *parallel); err != nil {
 			fmt.Fprintln(os.Stderr, "nestsim:", err)
 			os.Exit(1)
 		}
@@ -112,15 +117,16 @@ func main() {
 		}
 		return
 	}
-	if err := runMain(rs, *runs, *chromeOut, *eventsOut, *promOut, *countersOn, *explainOn); err != nil {
+	if err := runMain(rs, *runs, *parallel, *chromeOut, *eventsOut, *promOut, *countersOn, *explainOn); err != nil {
 		fmt.Fprintln(os.Stderr, "nestsim:", err)
 		os.Exit(1)
 	}
 }
 
 // runMain executes the standard flow: N runs, the first carrying any
-// requested observers (events, explain, chrome trace, counters).
-func runMain(rs experiments.RunSpec, runs int, chromeOut, eventsOut, promOut string, countersOn, explainOn bool) error {
+// requested observers (events, explain, chrome trace, counters), spread
+// over `workers` goroutines (repeats are independent simulations).
+func runMain(rs experiments.RunSpec, runs, workers int, chromeOut, eventsOut, promOut string, countersOn, explainOn bool) error {
 	var recs []obs.Recorder
 	var jsonl *obs.JSONLRecorder
 	var eventsF *os.File
@@ -150,7 +156,7 @@ func runMain(rs experiments.RunSpec, runs int, chromeOut, eventsOut, promOut str
 		rs.Obs = obs.New(recs...)
 	}
 
-	results, err := experiments.RunRepeats(rs, runs)
+	results, err := experiments.RunRepeatsParallel(rs, runs, workers)
 	if err != nil {
 		return err
 	}
@@ -287,7 +293,7 @@ func pctStd(xs []float64) float64 {
 	return 100 * metrics.Stddev(xs) / m
 }
 
-func runCompare(machineName, wlName string, scale float64, runs int, seed uint64, faults string, invariants bool) error {
+func runCompare(machineName, wlName string, scale float64, runs int, seed uint64, faults string, invariants bool, workers int) error {
 	configs := []struct{ sched, gov string }{
 		{"cfs", "schedutil"},
 		{"cfs", "performance"},
@@ -313,7 +319,7 @@ func runCompare(machineName, wlName string, scale float64, runs int, seed uint64
 		if invariants {
 			rs.Check = invariant.New()
 		}
-		results, err := experiments.RunRepeats(rs, runs)
+		results, err := experiments.RunRepeatsParallel(rs, runs, workers)
 		if err != nil {
 			return err
 		}

@@ -62,6 +62,26 @@ func DefaultConfig() Config {
 type Policy struct {
 	sched.Base
 	cfg Config
+	// physStamp marks physical cores visited by the current fork scan.
+	// A generation counter replaces clearing (or reallocating) the buffer
+	// between scans: a slot is "seen" only when its stamp equals physGen.
+	physStamp []uint64
+	physGen   uint64
+}
+
+// markPhys records phys as visited by the current scan, reporting
+// whether it had already been visited. The buffer is sized lazily on
+// first use for the machine's physical core count; fresh zero stamps
+// never match physGen because every scan increments it first.
+func (p *Policy) markPhys(n, phys int) bool {
+	if len(p.physStamp) < n {
+		p.physStamp = make([]uint64, n)
+	}
+	if p.physStamp[phys] == p.physGen {
+		return true
+	}
+	p.physStamp[phys] = p.physGen
+	return false
 }
 
 // New returns a CFS policy with cfg (zero fields take defaults).
@@ -143,13 +163,11 @@ func (p *Policy) SelectCoreFork(m sched.Machine, parent, child *proc.Task, paren
 	scan := topo.ScanFrom(bestSock, parentCore)
 	var bestA, bestB machine.CoreID = -1, -1
 	bestLoad := 0.0
-	seen := make(map[int]bool, len(scan))
+	p.physGen++
 	for _, c := range scan {
-		phys := topo.Core(c).Physical
-		if seen[phys] {
+		if p.markPhys(topo.NumPhysical(), topo.Core(c).Physical) {
 			continue
 		}
-		seen[phys] = true
 		sib := topo.Sibling(c)
 		// A physical core is a candidate only through its online threads.
 		if !m.Online(c) {

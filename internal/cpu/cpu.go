@@ -241,6 +241,16 @@ type Machine struct {
 	sockActive []int
 	sockMaxF   []machine.FreqMHz
 
+	// physMark/physGen are generation-stamped scratch for counting the
+	// active physical cores of one socket on the boost path; bumping the
+	// generation replaces clearing the buffer.
+	physMark []uint64
+	physGen  uint64
+
+	// tickFn is m.tick bound once, so re-arming the tick does not
+	// allocate a fresh method value every period.
+	tickFn func()
+
 	// sockLoads / sockRunning are per-socket statistics cached at the
 	// last tick, the stale domain statistics CFS placement consults.
 	sockLoads   []float64
@@ -293,6 +303,8 @@ func New(cfg Config) *Machine {
 		m.cores[i].hwUtil = pelt.WithHalfLife(2 * sim.Millisecond)
 	}
 	m.physActive = make([]bool, m.topo.NumPhysical())
+	m.physMark = make([]uint64, m.topo.NumPhysical())
+	m.tickFn = m.tick
 	m.sockActive = make([]int, m.topo.NumSockets())
 	m.sockMaxF = make([]machine.FreqMHz, m.topo.NumSockets())
 	m.sockLoads = make([]float64, m.topo.NumSockets())
@@ -373,7 +385,7 @@ func (m *Machine) newTask(name string, b proc.Behavior, parent *proc.Task) *proc
 func (m *Machine) Run(limit sim.Time) *metrics.Result {
 	if !m.started {
 		m.started = true
-		m.eng.After(sim.Tick, m.tick)
+		m.eng.PostAfter(sim.Tick, m.tickFn)
 	}
 	m.eng.RunUntil(func() bool {
 		if m.liveTasks == 0 {

@@ -73,7 +73,7 @@ func (m *Machine) dispatch(t *proc.Task, target machine.CoreID) {
 	if m.inFlight != nil {
 		m.inFlight[t.ID]++
 	}
-	m.eng.After(delay, func() {
+	m.eng.PostAfter(delay, func() {
 		if m.inFlight != nil {
 			m.inFlight[t.ID]--
 		}
@@ -297,7 +297,7 @@ func (m *Machine) advance(t *proc.Task, c machine.CoreID) {
 			if d < 0 {
 				d = 0
 			}
-			m.eng.After(d, func() { m.timerWake(t) })
+			m.eng.PostAfter(d, func() { m.timerWake(t) })
 			return
 		case proc.Fork:
 			child := m.newTask(act.Name, act.Behavior, t)
@@ -496,7 +496,7 @@ func (m *Machine) startSpin(c machine.CoreID, d sim.Duration, level float64) {
 	cs.util.SetLevel(now, level)
 	cs.hwUtil.SetLevel(now, level)
 	until := cs.spinUntil
-	m.eng.After(d, func() {
+	m.eng.PostAfter(d, func() {
 		st := &m.cores[c]
 		if st.cur == nil && st.spinUntil == until && m.eng.Now() >= until {
 			st.util.SetLevel(m.eng.Now(), 0)
@@ -550,7 +550,7 @@ func (m *Machine) barrierArrive(b *proc.Barrier, t *proc.Task, c machine.CoreID)
 			// policy.
 			for _, w := range waiters {
 				w := w
-				m.eng.After(200*sim.Nanosecond, func() { m.releaseSpinner(w) })
+				m.eng.PostAfter(200*sim.Nanosecond, func() { m.releaseSpinner(w) })
 			}
 			return false
 		}
@@ -558,7 +558,7 @@ func (m *Machine) barrierArrive(b *proc.Barrier, t *proc.Task, c machine.CoreID)
 		// paying for the storm on the waker's core.
 		for i, w := range waiters {
 			w := w
-			m.eng.After(sim.Duration(i)*wakeIssueGap, func() {
+			m.eng.PostAfter(sim.Duration(i)*wakeIssueGap, func() {
 				if w.State == proc.StateBlocked {
 					m.placeWakeup(w, c, false)
 				}

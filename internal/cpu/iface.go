@@ -105,7 +105,7 @@ func (m *Machine) ChargeSearch(examined int, fixed sim.Duration) {
 
 // MoveIfStillQueued implements sched.Machine: the Smove migration timer.
 func (m *Machine) MoveIfStillQueued(t *proc.Task, to machine.CoreID, d sim.Duration) {
-	m.eng.After(d, func() {
+	m.eng.PostAfter(d, func() {
 		// Skip unless the task is actually sitting on a queue: it may be
 		// running, blocked again, or in flight between placement and
 		// enqueue (Cur is NoCore then).

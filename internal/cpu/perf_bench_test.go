@@ -34,14 +34,22 @@ func benchPolicy(b *testing.B, mk func() sched.Policy, hub *obs.Hub) {
 	spec := machine.IntelXeon6130(2)
 	b.ReportAllocs()
 	var events uint64
+	var simNS float64
 	for i := 0; i < b.N; i++ {
 		m := New(Config{Spec: spec, Gov: governor.Schedutil{}, Policy: mk(), Seed: uint64(i + 1), Obs: hub})
 		benchWorkload(m, spec)
 		m.Run(0)
 		events += m.Engine().Steps()
+		simNS += float64(m.Now())
 	}
 	b.ReportMetric(float64(events)/float64(b.N), "events/run")
 	b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/s")
+	// Wall nanoseconds spent per simulated second: the headline cost
+	// metric tracked in BENCH_nest.json (lower is better; independent of
+	// how long each benchmark iteration happens to simulate).
+	if simNS > 0 {
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/(simNS/float64(sim.Second)), "ns/sim_s")
+	}
 }
 
 // BenchmarkRuntimeCFS measures end-to-end simulation throughput under
@@ -82,6 +90,30 @@ func TestDisabledRecorderAddsNoAllocs(t *testing.T) {
 	}
 }
 
+// BenchmarkNestPlacement stresses the nest policy's core-selection path
+// directly: a fork storm where nearly every event is a fresh placement
+// decision (SelectCoreFork over the primary nest, reserve nest and
+// expansion scan). With the generation-stamp scratch buffers and cached
+// topology scan orders this path should stay allocation-light; the
+// allocs/op figure here is the regression guard for it.
+func BenchmarkNestPlacement(b *testing.B) {
+	spec := machine.IntelXeon6130(2)
+	work := proc.Cycles(100*sim.Microsecond, spec.Nominal)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m := New(Config{Spec: spec, Gov: governor.Schedutil{}, Policy: nest.Default(), Seed: uint64(i + 1)})
+		for f := 0; f < 4; f++ {
+			m.Spawn("storm", proc.Loop(400, func(int) []proc.Action {
+				return []proc.Action{
+					proc.Fork{Name: "kid", Behavior: proc.Script(proc.Compute{Cycles: work})},
+					proc.WaitChildren{},
+				}
+			}))
+		}
+		m.Run(0)
+	}
+}
+
 // BenchmarkEngineOnly measures the raw event engine.
 func BenchmarkEngineOnly(b *testing.B) {
 	b.ReportAllocs()
@@ -96,6 +128,27 @@ func BenchmarkEngineOnly(b *testing.B) {
 			}
 		}
 		e.After(sim.Microsecond, tick)
+		e.Run(0)
+	}
+}
+
+// BenchmarkEnginePost is BenchmarkEngineOnly on the handle-free Post
+// path: the same chain of self-rescheduling callbacks, but fire-and-
+// forget, so no Event is ever allocated. The allocs/op gap between the
+// two benchmarks is the cost of cancellation handles.
+func BenchmarkEnginePost(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e := sim.NewEngine()
+		n := 0
+		var tick func()
+		tick = func() {
+			n++
+			if n < 100000 {
+				e.PostAfter(sim.Microsecond, tick)
+			}
+		}
+		e.PostAfter(sim.Microsecond, tick)
 		e.Run(0)
 	}
 }

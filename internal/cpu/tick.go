@@ -29,7 +29,7 @@ func (m *Machine) tick() {
 		if m.tickJitter > 0 {
 			d += m.rng.Duration(0, m.tickJitter)
 		}
-		m.eng.After(d, m.tick)
+		m.eng.PostAfter(d, m.tickFn)
 	}
 }
 
@@ -65,15 +65,18 @@ func (m *Machine) preemptPass(now sim.Time) {
 // within the hardware's lookback window — the basis of the turbo budget.
 func (m *Machine) activePhysOnSocket(s int, now sim.Time) int {
 	horizon := now - m.cfg.ActiveWindow
-	base := s * m.topo.PhysPerSocket()
-	seen := make(map[int]bool, m.topo.PhysPerSocket())
+	m.physGen++
+	count := 0
 	for _, c := range m.topo.SocketCores(s) {
 		cs := &m.cores[c]
 		if cs.cur != nil || cs.spinUntil > now || cs.lastActive >= horizon {
-			seen[m.topo.Core(c).Physical-base] = true
+			if phys := m.topo.Core(c).Physical; m.physMark[phys] != m.physGen {
+				m.physMark[phys] = m.physGen
+				count++
+			}
 		}
 	}
-	return len(seen)
+	return count
 }
 
 // freqAndAccountingPass books progress at the old frequencies, lets the

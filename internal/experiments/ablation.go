@@ -10,24 +10,35 @@ import (
 // set of workloads and machines.
 func ablationGrid(id, title string, workloads []string, variants []string, machines []string, opt Options) (*Report, error) {
 	opt.fill()
+	machs := machinesOrDefault(opt, machines)
+	perWl := 1 + len(variants) // full Nest first, then each variant
+	reqs := make([]cellReq, 0, len(machs)*len(workloads)*perWl)
+	for _, mach := range machs {
+		for _, wl := range workloads {
+			reqs = append(reqs, cellReq{mach: mach, cfg: cfgNestSched, wl: wl})
+			for _, v := range variants {
+				reqs = append(reqs, cellReq{mach: mach, cfg: config{"nest:" + v, "schedutil"}, wl: wl})
+			}
+		}
+	}
+	cells, err := measureGrid(reqs, opt)
+	if err != nil {
+		return nil, err
+	}
 	rep := &Report{ID: id, Title: title}
 	cols := append([]string{"workload", "nest (s)"}, variants...)
-	for _, mach := range machinesOrDefault(opt, machines) {
+	i := 0
+	for _, mach := range machs {
 		sec := Section{Heading: mach, Columns: cols}
 		for _, wl := range workloads {
-			base, err := measure(mach, cfgNestSched, wl, opt)
-			if err != nil {
-				return nil, err
-			}
+			base := cells[i]
+			i++
 			row := []string{shortName(wl), fmt.Sprintf("%.3f ±%.0f%%", base.meanTime(), base.stdPct())}
-			for _, v := range variants {
-				c, err := measure(mach, config{"nest:" + v, "schedutil"}, wl, opt)
-				if err != nil {
-					return nil, err
-				}
+			for range variants {
 				// Positive = the variant is FASTER than full Nest;
 				// negative = removing/changing the feature costs that much.
-				row = append(row, pct(metrics.Speedup(base.meanTime(), c.meanTime())))
+				row = append(row, pct(metrics.Speedup(base.meanTime(), cells[i].meanTime())))
+				i++
 			}
 			sec.Rows = append(sec.Rows, row)
 		}

@@ -23,7 +23,32 @@ type Options struct {
 	Machines []string
 	// Obs, when non-nil, receives decision events from the first run of
 	// every measured cell (see RunRepeats for the first-run-only rule).
+	// A shared hub is single-run state, so setting it forces the grid
+	// serial regardless of Parallel.
 	Obs *obs.Hub
+	// Parallel is the grid worker count: 0 or 1 runs serially, < 0
+	// selects GOMAXPROCS. Results are byte-identical either way.
+	Parallel int
+	// KeepGoing reports every failing cell instead of stopping the grid
+	// at the first error.
+	KeepGoing bool
+}
+
+// workers resolves the effective pool width, honouring the shared-hub
+// serialisation rule.
+func (o Options) workers() int {
+	if o.Obs.Enabled() {
+		return 1
+	}
+	if o.Parallel == 0 {
+		return 1
+	}
+	return o.Parallel // RunGrid maps < 0 to GOMAXPROCS
+}
+
+// pool returns the PoolOptions the experiment's grids should use.
+func (o Options) pool() PoolOptions {
+	return PoolOptions{Workers: o.workers(), KeepGoing: o.KeepGoing}
 }
 
 func (o *Options) fill() {
@@ -204,20 +229,54 @@ func (c *cell) stdPct() float64 {
 func (c *cell) first() *metrics.Result { return c.results[0] }
 
 func measure(machineName string, cfg config, wl string, opt Options) (*cell, error) {
-	rs := RunSpec{
-		Machine:   machineName,
-		Scheduler: cfg.sched,
-		Governor:  cfg.gov,
-		Workload:  wl,
-		Scale:     opt.Scale,
-		Seed:      opt.Seed,
-		Obs:       opt.Obs,
-	}
-	results, err := RunRepeats(rs, opt.Runs)
+	cells, err := measureGrid([]cellReq{{mach: machineName, cfg: cfg, wl: wl}}, opt)
 	if err != nil {
 		return nil, err
 	}
-	return &cell{results: results}, nil
+	return cells[0], nil
+}
+
+// cellReq names one cell of an experiment grid; a zero scale takes the
+// experiment-wide Options.Scale.
+type cellReq struct {
+	mach  string
+	cfg   config
+	wl    string
+	scale float64
+}
+
+// measureGrid measures every requested cell — opt.Runs repeats each —
+// through one RunGrid call, so the whole experiment's runs share the
+// worker pool. cells[i] aggregates the repeats of reqs[i]; observers
+// (opt.Obs) attach to the first repeat of each cell, exactly as the
+// serial path always did.
+func measureGrid(reqs []cellReq, opt Options) ([]*cell, error) {
+	specs := make([]RunSpec, 0, len(reqs)*opt.Runs)
+	for _, rq := range reqs {
+		scale := rq.scale
+		if scale == 0 {
+			scale = opt.Scale
+		}
+		rs := RunSpec{
+			Machine:   rq.mach,
+			Scheduler: rq.cfg.sched,
+			Governor:  rq.cfg.gov,
+			Workload:  rq.wl,
+			Scale:     scale,
+			Seed:      opt.Seed,
+			Obs:       opt.Obs,
+		}
+		specs = append(specs, RepeatSpecs(rs, opt.Runs)...)
+	}
+	results, err := RunGrid(specs, opt.pool())
+	if err != nil {
+		return nil, err
+	}
+	cells := make([]*cell, len(reqs))
+	for i := range reqs {
+		cells[i] = &cell{results: results[i*opt.Runs : (i+1)*opt.Runs]}
+	}
+	return cells, nil
 }
 
 // pct renders a speedup as the paper does (+12.3%).

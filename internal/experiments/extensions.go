@@ -31,44 +31,45 @@ func extFlatTurbo(opt Options) (*Report, error) {
 	rep := &Report{ID: "ext-flatturbo", Title: "Extension (§7): Nest on a hypothetical flat-turbo 5218"}
 	workloads := []string{"configure/llvm_ninja", "configure/erlang", "dacapo/h2", "phoronix/zstd-compression-7"}
 
-	measureOn := func(spec *machine.Spec, sched, wl string) (float64, error) {
-		var times []float64
-		for i := 0; i < opt.Runs; i++ {
-			res, err := RunOnSpec(spec, RunSpec{
-				Machine: "5218", Scheduler: sched, Governor: "schedutil",
-				Workload: wl, Scale: opt.Scale, Seed: opt.Seed + uint64(i),
-			})
-			if err != nil {
-				return 0, err
-			}
-			times = append(times, res.Runtime.Seconds())
-		}
-		return metrics.Mean(times), nil
-	}
-
 	real5218 := machine.IntelXeon5218()
 	flat := flatTurbo5218()
+	// Four combinations per workload, in column order: the counterfactual
+	// hardware rides through the grid via RunSpec.Spec.
+	combos := []struct {
+		spec  *machine.Spec
+		sched string
+	}{
+		{real5218, "cfs"}, {real5218, "nest"}, {flat, "cfs"}, {flat, "nest"},
+	}
+	specs := make([]RunSpec, 0, len(workloads)*len(combos)*opt.Runs)
+	for _, wl := range workloads {
+		for _, cb := range combos {
+			specs = append(specs, RepeatSpecs(RunSpec{
+				Machine: "5218", Spec: cb.spec, Scheduler: cb.sched, Governor: "schedutil",
+				Workload: wl, Scale: opt.Scale, Seed: opt.Seed,
+			}, opt.Runs)...)
+		}
+	}
+	results, err := RunGrid(specs, opt.pool())
+	if err != nil {
+		return nil, err
+	}
+	mean := func(wi, ci int) float64 {
+		start := (wi*len(combos) + ci) * opt.Runs
+		times := make([]float64, opt.Runs)
+		for i, r := range results[start : start+opt.Runs] {
+			times[i] = r.Runtime.Seconds()
+		}
+		return metrics.Mean(times)
+	}
+
 	sec := Section{
 		Heading: "Nest-schedutil speedup vs CFS-schedutil",
 		Columns: []string{"workload", "real ladder", "flat ladder", "CFS gain from flat"},
 	}
-	for _, wl := range workloads {
-		realBase, err := measureOn(real5218, "cfs", wl)
-		if err != nil {
-			return nil, err
-		}
-		realNest, err := measureOn(real5218, "nest", wl)
-		if err != nil {
-			return nil, err
-		}
-		flatBase, err := measureOn(flat, "cfs", wl)
-		if err != nil {
-			return nil, err
-		}
-		flatNest, err := measureOn(flat, "nest", wl)
-		if err != nil {
-			return nil, err
-		}
+	for wi, wl := range workloads {
+		realBase, realNest := mean(wi, 0), mean(wi, 1)
+		flatBase, flatNest := mean(wi, 2), mean(wi, 3)
 		sec.Rows = append(sec.Rows, []string{
 			shortName(wl),
 			pct(metrics.Speedup(realBase, realNest)),
@@ -99,22 +100,33 @@ func extNestVsAll(opt Options) (*Report, error) {
 	cols = append(cols, "nest:nospin", "nest:nowc")
 	variants := append(schedulers[1:], "nest:nospin", "nest:nowc")
 	sec := Section{Heading: "5218, schedutil", Columns: cols}
+	reqs := make([]cellReq, 0, len(wls)*(1+len(variants)))
 	for _, wl := range wls {
 		scale := opt.Scale
 		if wl == "nas/lu.C" {
 			scale = 0.06
 		}
-		base, err := measure("5218", cfgCFSSched, wl, Options{Scale: scale, Runs: opt.Runs, Seed: opt.Seed})
-		if err != nil {
-			return nil, err
-		}
-		row := []string{shortName(wl), fmt.Sprintf("%.3f", base.meanTime())}
+		reqs = append(reqs, cellReq{mach: "5218", cfg: cfgCFSSched, wl: wl, scale: scale})
 		for _, sched := range variants {
-			c, err := measure("5218", config{sched, "schedutil"}, wl, Options{Scale: scale, Runs: opt.Runs, Seed: opt.Seed})
-			if err != nil {
-				return nil, err
-			}
-			row = append(row, pct(metrics.Speedup(base.meanTime(), c.meanTime())))
+			reqs = append(reqs, cellReq{mach: "5218", cfg: config{sched, "schedutil"}, wl: wl, scale: scale})
+		}
+	}
+	// The scoreboard never attached observers (it builds its own
+	// Options), so drop any shared hub and keep the grid parallel.
+	o2 := opt
+	o2.Obs = nil
+	cells, err := measureGrid(reqs, o2)
+	if err != nil {
+		return nil, err
+	}
+	i := 0
+	for _, wl := range wls {
+		base := cells[i]
+		i++
+		row := []string{shortName(wl), fmt.Sprintf("%.3f", base.meanTime())}
+		for range variants {
+			row = append(row, pct(metrics.Speedup(base.meanTime(), cells[i].meanTime())))
+			i++
 		}
 		sec.Rows = append(sec.Rows, row)
 	}

@@ -75,19 +75,30 @@ func fig3(opt Options) (*Report, error) {
 func suiteGrid(id, title string, workloads []string, cfgs []config, opt Options,
 	render func(wl string, cells map[config]*cell) []string, cols []string) (*Report, error) {
 	opt.fill()
+	machines := machinesOrDefault(opt, paperMachineNames)
+	reqs := make([]cellReq, 0, len(machines)*len(workloads)*len(cfgs))
+	for _, mach := range machines {
+		for _, wl := range workloads {
+			for _, cfg := range cfgs {
+				reqs = append(reqs, cellReq{mach: mach, cfg: cfg, wl: wl})
+			}
+		}
+	}
+	cells, err := measureGrid(reqs, opt)
+	if err != nil {
+		return nil, err
+	}
 	rep := &Report{ID: id, Title: title}
-	for _, mach := range machinesOrDefault(opt, paperMachineNames) {
+	i := 0
+	for _, mach := range machines {
 		sec := Section{Heading: mach, Columns: cols}
 		for _, wl := range workloads {
-			cells := make(map[config]*cell, len(cfgs))
+			byCfg := make(map[config]*cell, len(cfgs))
 			for _, cfg := range cfgs {
-				c, err := measure(mach, cfg, wl, opt)
-				if err != nil {
-					return nil, err
-				}
-				cells[cfg] = c
+				byCfg[cfg] = cells[i]
+				i++
 			}
-			sec.Rows = append(sec.Rows, render(wl, cells))
+			sec.Rows = append(sec.Rows, render(wl, byCfg))
 		}
 		rep.Sections = append(rep.Sections, sec)
 	}
@@ -192,16 +203,28 @@ func fig6(opt Options) (*Report, error) {
 // freqDistribution renders full per-bucket busy-time shares.
 func freqDistribution(id, title string, workloads []string, opt Options) (*Report, error) {
 	opt.fill()
+	machines := machinesOrDefault(opt, paperMachineNames)
+	reqs := make([]cellReq, 0, len(machines)*len(paperConfigs)*len(workloads))
+	for _, mach := range machines {
+		for _, cfg := range paperConfigs {
+			for _, wl := range workloads {
+				reqs = append(reqs, cellReq{mach: mach, cfg: cfg, wl: wl})
+			}
+		}
+	}
+	cells, err := measureGrid(reqs, opt)
+	if err != nil {
+		return nil, err
+	}
 	rep := &Report{ID: id, Title: title}
-	for _, mach := range machinesOrDefault(opt, paperMachineNames) {
+	i := 0
+	for _, mach := range machines {
 		for _, cfg := range paperConfigs {
 			var sec Section
 			sec.Heading = fmt.Sprintf("%s, %s", mach, cfg)
 			for _, wl := range workloads {
-				c, err := measure(mach, cfg, wl, opt)
-				if err != nil {
-					return nil, err
-				}
+				c := cells[i]
+				i++
 				h := c.first().FreqHist
 				if len(sec.Columns) == 0 {
 					sec.Columns = []string{"app"}
@@ -265,18 +288,22 @@ func fig8(opt Options) (*Report, error) {
 // seeds and tracing the worst.
 func fig9(opt Options) (*Report, error) {
 	opt.fill()
-	worstSeed, worstTime := opt.Seed, 0.0
-	for s := opt.Seed; s < opt.Seed+8; s++ {
-		res, err := Run(RunSpec{
+	specs := make([]RunSpec, 8)
+	for i := range specs {
+		specs[i] = RunSpec{
 			Machine: "6130-4", Scheduler: "cfs", Governor: "schedutil",
-			Workload: "dacapo/h2", Scale: opt.Scale, Seed: s,
-		})
-		if err != nil {
-			return nil, err
+			Workload: "dacapo/h2", Scale: opt.Scale, Seed: opt.Seed + uint64(i),
 		}
+	}
+	scan, err := RunGrid(specs, opt.pool())
+	if err != nil {
+		return nil, err
+	}
+	worstSeed, worstTime := opt.Seed, 0.0
+	for i, res := range scan {
 		if res.Runtime.Seconds() > worstTime {
 			worstTime = res.Runtime.Seconds()
-			worstSeed = s
+			worstSeed = specs[i].Seed
 		}
 	}
 	o2 := opt

@@ -1,0 +1,167 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/metrics"
+)
+
+// PoolOptions configure RunGrid.
+type PoolOptions struct {
+	// Workers is the number of goroutines executing cells; <= 0 selects
+	// GOMAXPROCS. Workers == 1 runs the grid serially on the calling
+	// goroutine (the byte-identity reference for the parallel path).
+	Workers int
+	// KeepGoing runs every cell even after failures and reports all
+	// errors joined; the default is fail-fast: workers stop claiming new
+	// cells after the first error and the lowest-index error is returned.
+	KeepGoing bool
+	// Cancel, when non-nil, aborts the grid when closed: workers stop
+	// claiming cells and RunGrid returns ErrCanceled. Cells already
+	// running complete (runs are pure CPU with no cancellation points).
+	Cancel <-chan struct{}
+}
+
+// ErrCanceled is returned by RunGrid when PoolOptions.Cancel is closed
+// before the grid completes.
+var ErrCanceled = errors.New("experiments: grid canceled")
+
+// CellError ties a run failure to the grid cell that produced it.
+type CellError struct {
+	Index int     // position in the specs slice
+	Spec  RunSpec // the failing cell
+	Err   error
+}
+
+func (e *CellError) Error() string {
+	return fmt.Sprintf("cell %d (%s): %v", e.Index, e.Spec.String(), e.Err)
+}
+
+func (e *CellError) Unwrap() error { return e.Err }
+
+// RunGrid executes independent cells across a worker pool and delivers
+// results in input order: results[i] is the result of specs[i] (nil for
+// cells that failed or were never started).
+//
+// Determinism: each cell owns a full simulation (engine, machine,
+// policy, RNG seeded from its spec), so a cell's result bytes do not
+// depend on which worker ran it or on what ran concurrently. A parallel
+// grid therefore produces byte-identical encoded results to a serial
+// one — TestParallelMatchesSerial holds the pool to that.
+//
+// Observers are the one sharing hazard: obs.Hub, invariant.Checker and
+// the metrics collectors are single-run state and must not be shared
+// across cells of a parallel grid. Give each spec its own (as
+// resilience.go does), or keep Workers at 1.
+func RunGrid(specs []RunSpec, opts PoolOptions) ([]*metrics.Result, error) {
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(specs) {
+		workers = len(specs)
+	}
+	results := make([]*metrics.Result, len(specs))
+	errs := make([]error, len(specs))
+
+	canceled := func() bool {
+		select {
+		case <-opts.Cancel:
+			return true
+		default:
+			return false
+		}
+	}
+
+	if workers <= 1 {
+		// Serial fast path: same claiming order a single worker would use.
+		for i := range specs {
+			if canceled() {
+				return results, ErrCanceled
+			}
+			res, err := Run(specs[i])
+			if err != nil {
+				errs[i] = &CellError{Index: i, Spec: specs[i], Err: err}
+				if !opts.KeepGoing {
+					return results, errs[i]
+				}
+				continue
+			}
+			results[i] = res
+		}
+		return results, joinCellErrors(errs, canceled())
+	}
+
+	var next atomic.Int64
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if stop.Load() || canceled() {
+					return
+				}
+				i := int(next.Add(1)) - 1
+				if i >= len(specs) {
+					return
+				}
+				res, err := Run(specs[i])
+				if err != nil {
+					errs[i] = &CellError{Index: i, Spec: specs[i], Err: err}
+					if !opts.KeepGoing {
+						stop.Store(true)
+						return
+					}
+					continue
+				}
+				results[i] = res
+			}
+		}()
+	}
+	wg.Wait()
+
+	if !opts.KeepGoing {
+		for _, err := range errs {
+			if err != nil {
+				return results, err
+			}
+		}
+	}
+	return results, joinCellErrors(errs, canceled())
+}
+
+// joinCellErrors folds per-cell errors (already in index order) and a
+// cancellation into one error, nil when the grid fully succeeded.
+func joinCellErrors(errs []error, canceled bool) error {
+	var all []error
+	for _, err := range errs {
+		if err != nil {
+			all = append(all, err)
+		}
+	}
+	if canceled {
+		all = append(all, ErrCanceled)
+	}
+	return errors.Join(all...)
+}
+
+// RepeatSpecs expands rs into n specs with consecutive seeds, observers
+// attached to the first repeat only (the RunRepeats rule).
+func RepeatSpecs(rs RunSpec, n int) []RunSpec {
+	specs := make([]RunSpec, n)
+	for i := 0; i < n; i++ {
+		r := rs
+		r.Seed = rs.Seed + uint64(i)
+		if i > 0 {
+			r.Trace, r.Series, r.Timeline, r.Obs, r.Check = nil, nil, nil, nil, nil
+		}
+		specs[i] = r
+	}
+	return specs
+}

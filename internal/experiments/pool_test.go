@@ -1,0 +1,200 @@
+package experiments
+
+import (
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/invariant"
+	"repro/internal/obs"
+)
+
+// smallGrid is the byte-identity fixture: both schedulers, faults on,
+// invariants on (fresh per-cell observers so the grid is parallel-safe),
+// at a tiny scale to keep the test fast.
+func smallGrid() []RunSpec {
+	var specs []RunSpec
+	for _, sched := range []string{"cfs", "nest"} {
+		for _, faults := range []string{"", "off:c2@10ms+50ms"} {
+			for seed := uint64(1); seed <= 2; seed++ {
+				specs = append(specs, RunSpec{
+					Machine: "5218", Scheduler: sched, Governor: "schedutil",
+					Workload: "configure/llvm_ninja", Scale: 0.005, Seed: seed,
+					Faults: faults,
+					Obs:    obs.New(),
+					Check:  invariant.New(),
+				})
+			}
+		}
+	}
+	return specs
+}
+
+func TestParallelMatchesSerial(t *testing.T) {
+	serialSpecs := smallGrid()
+	serial, err := RunGrid(serialSpecs, PoolOptions{Workers: 1})
+	if err != nil {
+		t.Fatalf("serial grid: %v", err)
+	}
+	parallelSpecs := smallGrid() // fresh observers: hubs are single-run state
+	parallel, err := RunGrid(parallelSpecs, PoolOptions{Workers: 4})
+	if err != nil {
+		t.Fatalf("parallel grid: %v", err)
+	}
+	if len(serial) != len(parallel) {
+		t.Fatalf("result count: serial %d, parallel %d", len(serial), len(parallel))
+	}
+	for i := range serial {
+		sb, err := json.Marshal(serial[i])
+		if err != nil {
+			t.Fatalf("marshal serial[%d]: %v", i, err)
+		}
+		pb, err := json.Marshal(parallel[i])
+		if err != nil {
+			t.Fatalf("marshal parallel[%d]: %v", i, err)
+		}
+		if string(sb) != string(pb) {
+			t.Errorf("cell %d (%s): parallel bytes differ from serial\nserial:   %s\nparallel: %s",
+				i, serialSpecs[i], sb, pb)
+		}
+		if serialSpecs[i].Check.Total() != parallelSpecs[i].Check.Total() {
+			t.Errorf("cell %d: invariant violations differ: serial %d, parallel %d",
+				i, serialSpecs[i].Check.Total(), parallelSpecs[i].Check.Total())
+		}
+	}
+}
+
+// TestRunGridRace exists for the -race run: many workers, each cell with
+// its own enabled obs hub and checker, all of package main's sharing
+// hazards exercised at once. Correctness assertions are minimal; the
+// race detector is the point.
+func TestRunGridRace(t *testing.T) {
+	var specs []RunSpec
+	for i := 0; i < 8; i++ {
+		specs = append(specs, RunSpec{
+			Machine: "6130-2", Scheduler: []string{"cfs", "nest"}[i%2], Governor: "schedutil",
+			Workload: "configure/mplayer", Scale: 0.004, Seed: uint64(i + 1),
+			Obs:   obs.New(),
+			Check: invariant.New(),
+		})
+	}
+	results, err := RunGrid(specs, PoolOptions{Workers: 8})
+	if err != nil {
+		t.Fatalf("RunGrid: %v", err)
+	}
+	for i, r := range results {
+		if r == nil {
+			t.Fatalf("cell %d: nil result", i)
+		}
+		if r.Stats == nil || r.Stats.Events == 0 {
+			t.Errorf("cell %d: hub recorded no events despite being enabled", i)
+		}
+	}
+}
+
+func TestRunGridFailFast(t *testing.T) {
+	specs := []RunSpec{
+		{Machine: "5218", Scheduler: "cfs", Governor: "schedutil", Workload: "configure/mplayer", Scale: 0.004, Seed: 1},
+		{Machine: "5218", Scheduler: "nope", Governor: "schedutil", Workload: "configure/mplayer", Scale: 0.004, Seed: 1},
+		{Machine: "5218", Scheduler: "cfs", Governor: "schedutil", Workload: "configure/mplayer", Scale: 0.004, Seed: 2},
+	}
+	for _, workers := range []int{1, 4} {
+		results, err := RunGrid(specs, PoolOptions{Workers: workers})
+		if err == nil {
+			t.Fatalf("workers=%d: expected error", workers)
+		}
+		var ce *CellError
+		if !errors.As(err, &ce) {
+			t.Fatalf("workers=%d: error %v is not a CellError", workers, err)
+		}
+		if ce.Index != 1 {
+			t.Errorf("workers=%d: CellError.Index = %d, want 1", workers, ce.Index)
+		}
+		if !strings.Contains(ce.Error(), "5218/nope/schedutil/configure/mplayer") {
+			t.Errorf("workers=%d: error lacks the cell's spec string: %v", workers, ce)
+		}
+		if results[1] != nil {
+			t.Errorf("workers=%d: failing cell has a result", workers)
+		}
+	}
+}
+
+func TestRunGridKeepGoing(t *testing.T) {
+	specs := []RunSpec{
+		{Machine: "5218", Scheduler: "nope", Governor: "schedutil", Workload: "configure/mplayer", Scale: 0.004, Seed: 1},
+		{Machine: "5218", Scheduler: "cfs", Governor: "schedutil", Workload: "configure/mplayer", Scale: 0.004, Seed: 1},
+		{Machine: "5218", Scheduler: "cfs", Governor: "nope", Workload: "configure/mplayer", Scale: 0.004, Seed: 2},
+	}
+	results, err := RunGrid(specs, PoolOptions{Workers: 2, KeepGoing: true})
+	if err == nil {
+		t.Fatal("expected joined errors")
+	}
+	if results[1] == nil {
+		t.Error("healthy cell should have completed despite failures around it")
+	}
+	var count int
+	for _, spec := range specs {
+		if strings.Contains(err.Error(), spec.String()) {
+			count++
+		}
+	}
+	if count != 2 {
+		t.Errorf("joined error should name both failing cells, named %d: %v", count, err)
+	}
+}
+
+func TestRunGridCancel(t *testing.T) {
+	cancel := make(chan struct{})
+	close(cancel)
+	specs := RepeatSpecs(RunSpec{
+		Machine: "5218", Scheduler: "cfs", Governor: "schedutil",
+		Workload: "configure/mplayer", Scale: 0.004, Seed: 1,
+	}, 4)
+	for _, workers := range []int{1, 2} {
+		_, err := RunGrid(specs, PoolOptions{Workers: workers, Cancel: cancel})
+		if !errors.Is(err, ErrCanceled) {
+			t.Fatalf("workers=%d: err = %v, want ErrCanceled", workers, err)
+		}
+	}
+}
+
+func TestRepeatSpecsObserverRule(t *testing.T) {
+	rs := RunSpec{
+		Machine: "5218", Scheduler: "cfs", Governor: "schedutil",
+		Workload: "configure/mplayer", Seed: 7,
+		Obs: obs.New(), Check: invariant.New(),
+	}
+	specs := RepeatSpecs(rs, 3)
+	if specs[0].Obs != rs.Obs || specs[0].Check != rs.Check {
+		t.Error("first repeat must keep the observers")
+	}
+	for i := 1; i < 3; i++ {
+		if specs[i].Obs != nil || specs[i].Check != nil || specs[i].Trace != nil {
+			t.Errorf("repeat %d must not carry observers", i)
+		}
+		if specs[i].Seed != rs.Seed+uint64(i) {
+			t.Errorf("repeat %d seed = %d, want %d", i, specs[i].Seed, rs.Seed+uint64(i))
+		}
+	}
+}
+
+func TestRunRepeatsParallelMatchesSerial(t *testing.T) {
+	rs := RunSpec{
+		Machine: "6130-2", Scheduler: "nest", Governor: "schedutil",
+		Workload: "configure/mplayer", Scale: 0.004, Seed: 3,
+	}
+	serial, err := RunRepeats(rs, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := RunRepeatsParallel(rs, 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, _ := json.Marshal(serial)
+	pb, _ := json.Marshal(parallel)
+	if string(sb) != string(pb) {
+		t.Error("parallel repeats differ from serial")
+	}
+}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/invariant"
@@ -46,12 +47,19 @@ func resilience(opt Options) (*Report, error) {
 	opt.fill()
 	rep := &Report{ID: "resilience", Title: "Graceful degradation under core loss, throttling and load spikes"}
 	wl := "configure/llvm_ninja"
-	for _, mach := range machinesOrDefault(opt, []string{"5218"}) {
-		sec := Section{
-			Heading: mach,
-			Columns: []string{"fault plan", "config", "time (s)", "vs none", "violations", "offline", "evacuated", "nest evac"},
-		}
-		base := map[string]float64{}
+	machines := machinesOrDefault(opt, []string{"5218"})
+	// Each cell gets its own hub and invariant checker, so the grid stays
+	// parallel-safe: no single-run observer state is shared across cells
+	// (opt.Obs is ignored here and the first-repeat rule applies within
+	// each cell).
+	type resCell struct {
+		rf  resilienceFault
+		cfg config
+		rs  RunSpec
+	}
+	var cellsIn []resCell
+	var specs []RunSpec
+	for _, mach := range machines {
 		for _, rf := range resilienceFaults {
 			for _, cfg := range resilienceConfigs {
 				rs := RunSpec{
@@ -65,10 +73,34 @@ func resilience(opt Options) (*Report, error) {
 					Obs:       obs.New(),
 					Check:     invariant.New(),
 				}
-				results, err := RunRepeats(rs, opt.Runs)
-				if err != nil {
-					return nil, fmt.Errorf("resilience %s/%s: %w", rf.name, cfg, err)
-				}
+				cellsIn = append(cellsIn, resCell{rf: rf, cfg: cfg, rs: rs})
+				specs = append(specs, RepeatSpecs(rs, opt.Runs)...)
+			}
+		}
+	}
+	o2 := opt
+	o2.Obs = nil // per-cell hubs above, not the shared one
+	all, err := RunGrid(specs, o2.pool())
+	if err != nil {
+		var ce *CellError
+		if errors.As(err, &ce) {
+			c := cellsIn[ce.Index/opt.Runs]
+			return nil, fmt.Errorf("resilience %s/%s: %w", c.rf.name, c.cfg, ce.Err)
+		}
+		return nil, err
+	}
+	i := 0
+	for _, mach := range machines {
+		sec := Section{
+			Heading: mach,
+			Columns: []string{"fault plan", "config", "time (s)", "vs none", "violations", "offline", "evacuated", "nest evac"},
+		}
+		base := map[string]float64{}
+		for _, rf := range resilienceFaults {
+			for _, cfg := range resilienceConfigs {
+				c := cellsIn[i/opt.Runs]
+				results := all[i : i+opt.Runs]
+				i += opt.Runs
 				times := metrics.Runtimes(results)
 				mean := metrics.Mean(times)
 				if rf.name == "none" {
@@ -83,7 +115,7 @@ func resilience(opt Options) (*Report, error) {
 					rf.name, cfg.String(),
 					fmt.Sprintf("%.3f ±%.0f%%", mean, cellStd(times)),
 					vs,
-					fmt.Sprintf("%d", rs.Check.Total()),
+					fmt.Sprintf("%d", c.rs.Check.Total()),
 					fmt.Sprintf("%d", stats.Counter("fault.offline")),
 					fmt.Sprintf("%d", stats.Counter("cpu.evacuated")),
 					fmt.Sprintf("%d", stats.Counter("nest.evacuate")),

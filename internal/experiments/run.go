@@ -114,7 +114,11 @@ func splitComma(s string) []string {
 
 // RunSpec names one run.
 type RunSpec struct {
-	Machine   string // preset name, e.g. "5218"
+	Machine string // preset name, e.g. "5218"
+	// Spec, when non-nil, overrides Machine with an explicit machine
+	// description (counterfactual hardware, test topologies) so that
+	// non-preset runs can still travel through RunGrid.
+	Spec      *machine.Spec
 	Scheduler string // "cfs", "nest", "smove", "nest:<flags>"
 	Governor  string // "schedutil" or "performance"
 	Workload  string // registered workload name
@@ -136,11 +140,30 @@ type RunSpec struct {
 	Check *invariant.Checker
 }
 
+// String names the cell compactly for error reports and logs, e.g.
+// "5218/nest/schedutil/hackbench scale=0.04 seed=7".
+func (rs RunSpec) String() string {
+	mach := rs.Machine
+	if mach == "" && rs.Spec != nil {
+		mach = rs.Spec.Topo.Name()
+	}
+	s := fmt.Sprintf("%s/%s/%s/%s scale=%g seed=%d",
+		mach, rs.Scheduler, rs.Governor, rs.Workload, rs.Scale, rs.Seed)
+	if rs.Faults != "" {
+		s += " faults=" + rs.Faults
+	}
+	return s
+}
+
 // Run executes one configuration and returns its measurements.
 func Run(rs RunSpec) (*metrics.Result, error) {
-	spec, err := machine.Preset(rs.Machine)
-	if err != nil {
-		return nil, err
+	spec := rs.Spec
+	if spec == nil {
+		var err error
+		spec, err = machine.Preset(rs.Machine)
+		if err != nil {
+			return nil, err
+		}
 	}
 	return RunOnSpec(spec, rs)
 }
@@ -209,9 +232,13 @@ func RunOnSpec(spec *machine.Spec, rs RunSpec) (*metrics.Result, error) {
 // surfacing a panic or a failure mid-run. Custom workloads must be
 // registered before calling it.
 func (rs RunSpec) Validate() error {
-	spec, err := machine.Preset(rs.Machine)
-	if err != nil {
-		return err
+	spec := rs.Spec
+	if spec == nil {
+		var err error
+		spec, err = machine.Preset(rs.Machine)
+		if err != nil {
+			return err
+		}
 	}
 	if _, err := Schedulers(rs.Scheduler); err != nil {
 		return err
@@ -241,18 +268,16 @@ const DefaultScale = 0.04
 // first run only: they are single-run collectors, and mixing the events
 // of several seeds into one stream or trace would be unreadable.
 func RunRepeats(rs RunSpec, n int) ([]*metrics.Result, error) {
-	out := make([]*metrics.Result, 0, n)
-	for i := 0; i < n; i++ {
-		r := rs
-		r.Seed = rs.Seed + uint64(i)
-		if i > 0 {
-			r.Trace, r.Series, r.Timeline, r.Obs, r.Check = nil, nil, nil, nil, nil
-		}
-		res, err := Run(r)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, res)
+	return RunRepeatsParallel(rs, n, 1)
+}
+
+// RunRepeatsParallel is RunRepeats over the grid pool, spreading the
+// seeds across workers (<= 1 runs serially). Repeats are independent
+// simulations, so the results are byte-identical to the serial order.
+func RunRepeatsParallel(rs RunSpec, n, workers int) ([]*metrics.Result, error) {
+	out, err := RunGrid(RepeatSpecs(rs, n), PoolOptions{Workers: workers})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

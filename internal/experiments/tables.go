@@ -53,19 +53,30 @@ func table4(opt Options) (*Report, error) {
 	rep := &Report{ID: "table4", Title: "Phoronix multicore overview (population buckets vs CFS-schedutil)"}
 	cols := []string{"scheduler", "slower >20%", "slower (5,20]%", "same ±5%", "faster (5,20]%", "faster >20%"}
 	tests := workload.PhoronixAll()
+	cfgs := []config{cfgCFSSched, cfgCFSPerf, cfgNestSched}
+	reqs := make([]cellReq, 0, len(machines)*len(tests)*len(cfgs))
 	for _, mach := range machines {
+		for _, wl := range tests {
+			for _, cfg := range cfgs {
+				reqs = append(reqs, cellReq{mach: mach, cfg: cfg, wl: wl})
+			}
+		}
+	}
+	cells, err := measureGrid(reqs, opt)
+	if err != nil {
+		return nil, err
+	}
+	// cellAt indexes the flattened (machine, test, config) grid.
+	cellAt := func(mi, wi, ci int) *cell {
+		return cells[(mi*len(tests)+wi)*len(cfgs)+ci]
+	}
+	for mi, mach := range machines {
 		sec := Section{Heading: fmt.Sprintf("%s (%d tests)", mach, len(tests)), Columns: cols}
-		for _, cfg := range []config{cfgCFSPerf, cfgNestSched} {
+		for ci, cfg := range cfgs[1:] {
 			var buckets [5]int
-			for _, wl := range tests {
-				base, err := measure(mach, cfgCFSSched, wl, opt)
-				if err != nil {
-					return nil, err
-				}
-				c, err := measure(mach, cfg, wl, opt)
-				if err != nil {
-					return nil, err
-				}
+			for wi := range tests {
+				base := cellAt(mi, wi, 0)
+				c := cellAt(mi, wi, ci+1)
 				s := metrics.Speedup(base.meanTime(), c.meanTime())
 				switch {
 				case s < -0.20:

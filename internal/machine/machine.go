@@ -59,6 +59,14 @@ type Topology struct {
 	smt         int // hardware threads per physical core (1 or 2)
 	cores       []Core
 	bySocket    [][]CoreID // cores of each socket, in numerical order
+	// Precomputed scan orders. The topology is immutable, so both the
+	// wrap-around core scans and the die-local-first socket orders can be
+	// built once and shared: SocketOrder and ScanFrom sit on every
+	// placement path of both policies and used to allocate a fresh slice
+	// per call.
+	ringBySocket [][]CoreID // each socket's core list doubled, for wrap-around subslices
+	posInSocket  []int      // index of each core within its socket's list
+	socketOrders [][]int    // die-local-first socket order, by home socket
 }
 
 // New constructs a topology with the given socket count, physical cores
@@ -108,6 +116,29 @@ func NewChecked(name string, sockets, physPerSocket, smt int) (*Topology, error)
 		}
 		t.bySocket[sock] = append(t.bySocket[sock], CoreID(id))
 	}
+	t.ringBySocket = make([][]CoreID, sockets)
+	t.posInSocket = make([]int, n)
+	for s := 0; s < sockets; s++ {
+		cores := t.bySocket[s]
+		ring := make([]CoreID, 0, 2*len(cores))
+		ring = append(ring, cores...)
+		ring = append(ring, cores...)
+		t.ringBySocket[s] = ring
+		for i, c := range cores {
+			t.posInSocket[c] = i
+		}
+	}
+	t.socketOrders = make([][]int, sockets)
+	for home := 0; home < sockets; home++ {
+		order := make([]int, 0, sockets)
+		order = append(order, home)
+		for s := 0; s < sockets; s++ {
+			if s != home {
+				order = append(order, s)
+			}
+		}
+		t.socketOrders[home] = order
+	}
 	return t, nil
 }
 
@@ -150,39 +181,25 @@ func (t *Topology) SameDie(a, b CoreID) bool {
 // SocketOrder returns the socket indices to visit when scanning outward
 // from the socket of core id: that socket first, then the rest in
 // ascending order. This is the die-local-first order both CFS's fork path
-// and Nest's searches use.
+// and Nest's searches use. The returned slice is shared and precomputed;
+// callers must not modify it.
 func (t *Topology) SocketOrder(from CoreID) []int {
-	home := t.cores[from].Socket
-	order := make([]int, 0, t.sockets)
-	order = append(order, home)
-	for s := 0; s < t.sockets; s++ {
-		if s != home {
-			order = append(order, s)
-		}
-	}
-	return order
+	return t.socketOrders[t.cores[from].Socket]
 }
 
 // ScanFrom returns all cores of socket s starting at core `from` (if it
 // belongs to s, else at the socket's first core) and wrapping around, in
 // numerical order modulo the socket size. This mirrors the kernel's
 // wrap-around scans that start at the core performing the operation.
+// The returned slice is a shared view into a precomputed doubled ring;
+// callers must not modify it.
 func (t *Topology) ScanFrom(s int, from CoreID) []CoreID {
-	cores := t.bySocket[s]
 	start := 0
 	if t.cores[from].Socket == s {
-		for i, c := range cores {
-			if c == from {
-				start = i
-				break
-			}
-		}
+		start = t.posInSocket[from]
 	}
-	out := make([]CoreID, 0, len(cores))
-	for i := 0; i < len(cores); i++ {
-		out = append(out, cores[(start+i)%len(cores)])
-	}
-	return out
+	n := len(t.bySocket[s])
+	return t.ringBySocket[s][start : start+n]
 }
 
 // String summarises the topology, e.g. "4x16x2 = 128".

@@ -4,13 +4,12 @@
 // of events. Events scheduled for the same instant fire in the order they
 // were scheduled (FIFO), which keeps runs deterministic. All simulation
 // state in this repository is driven from a single goroutine; the engine
-// is intentionally not safe for concurrent use.
+// is intentionally not safe for concurrent use. Independent runs each own
+// an engine, so whole runs can execute on separate goroutines (the
+// experiment grid pool does exactly that).
 package sim
 
-import (
-	"container/heap"
-	"fmt"
-)
+import "fmt"
 
 // Time is a point in virtual time, in nanoseconds since the start of the
 // simulation.
@@ -39,13 +38,14 @@ func (t Time) Millis() float64 { return float64(t) / float64(Millisecond) }
 // String renders the time as seconds with microsecond precision.
 func (t Time) String() string { return fmt.Sprintf("%.6fs", t.Seconds()) }
 
-// Event is a scheduled callback. The zero Event is invalid; events are
-// created through Engine.At and Engine.After.
+// Event is a handle to a scheduled callback that can be cancelled or
+// rescheduled. The zero Event is invalid; events are created through
+// Engine.At and Engine.After. Fire-and-forget callbacks should use
+// Engine.Post / Engine.PostAfter instead, which schedule without
+// allocating a handle at all.
 type Event struct {
 	when  Time
-	seq   uint64
-	index int // heap index, -1 when not queued
-	fn    func()
+	index int // position in the engine's queue, -1 when not queued
 }
 
 // When returns the virtual time the event is scheduled for.
@@ -54,45 +54,23 @@ func (e *Event) When() Time { return e.when }
 // Scheduled reports whether the event is still pending in the queue.
 func (e *Event) Scheduled() bool { return e != nil && e.index >= 0 }
 
-// eventQueue is a min-heap ordered by (when, seq).
-type eventQueue []*Event
-
-func (q eventQueue) Len() int { return len(q) }
-
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].when != q[j].when {
-		return q[i].when < q[j].when
-	}
-	return q[i].seq < q[j].seq
-}
-
-func (q eventQueue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].index = i
-	q[j].index = j
-}
-
-func (q *eventQueue) Push(x any) {
-	e := x.(*Event)
-	e.index = len(*q)
-	*q = append(*q, e)
-}
-
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.index = -1
-	*q = old[:n-1]
-	return e
+// entry is one queued callback. Entries are stored by value in the
+// engine's heap, so handle-free scheduling (Post/PostAfter) performs no
+// per-event allocation; ev is non-nil only for cancellable events
+// created through At/After, and carries the heap index those handles
+// need for Cancel and Reschedule.
+type entry struct {
+	when Time
+	seq  uint64
+	fn   func()
+	ev   *Event
 }
 
 // Engine is a discrete-event simulator instance.
 type Engine struct {
 	now   Time
 	seq   uint64
-	queue eventQueue
+	queue []entry
 	// steps counts processed events, for run-away detection in tests.
 	steps uint64
 	// onStep, when set, runs after every processed event — the hook the
@@ -119,16 +97,133 @@ func (e *Engine) OnStep(fn func()) { e.onStep = fn }
 // Pending returns the number of queued events.
 func (e *Engine) Pending() int { return len(e.queue) }
 
-// At schedules fn to run at time t. Scheduling in the past panics: it
-// always indicates a modelling bug, and silently reordering time would
-// corrupt every metric downstream.
-func (e *Engine) At(t Time, fn func()) *Event {
+// The queue is a 4-ary min-heap of entries ordered by (when, seq),
+// implemented concretely rather than through container/heap: the
+// interface-based heap boxes every push/pop through `any` and calls
+// Less/Swap indirectly, which showed up as a large share of engine time
+// and one allocation per scheduled event. A 4-ary shape also halves the
+// tree depth, trading slightly wider sift-down comparisons for fewer
+// cache-missing levels — the right trade for the small entries here.
+
+const heapArity = 4
+
+// before reports whether a fires before b: earlier time first, FIFO
+// (scheduling order) within the same instant.
+func (a *entry) before(b *entry) bool {
+	if a.when != b.when {
+		return a.when < b.when
+	}
+	return a.seq < b.seq
+}
+
+// place writes en into slot i, keeping its handle's index current.
+func (e *Engine) place(i int, en entry) {
+	e.queue[i] = en
+	if en.ev != nil {
+		en.ev.index = i
+	}
+}
+
+// siftUp moves the entry at i toward the root until its parent fires
+// no later than it does.
+func (e *Engine) siftUp(i int) {
+	en := e.queue[i]
+	for i > 0 {
+		parent := (i - 1) / heapArity
+		if !en.before(&e.queue[parent]) {
+			break
+		}
+		e.place(i, e.queue[parent])
+		i = parent
+	}
+	e.place(i, en)
+}
+
+// siftDown moves the entry at i toward the leaves until no child fires
+// before it.
+func (e *Engine) siftDown(i int) {
+	n := len(e.queue)
+	en := e.queue[i]
+	for {
+		first := heapArity*i + 1
+		if first >= n {
+			break
+		}
+		best := first
+		last := first + heapArity
+		if last > n {
+			last = n
+		}
+		for c := first + 1; c < last; c++ {
+			if e.queue[c].before(&e.queue[best]) {
+				best = c
+			}
+		}
+		if !e.queue[best].before(&en) {
+			break
+		}
+		e.place(i, e.queue[best])
+		i = best
+	}
+	e.place(i, en)
+}
+
+// push appends en and restores heap order.
+func (e *Engine) push(en entry) {
+	e.queue = append(e.queue, en)
+	e.siftUp(len(e.queue) - 1)
+}
+
+// popMin removes and returns the earliest entry.
+func (e *Engine) popMin() entry {
+	top := e.queue[0]
+	if top.ev != nil {
+		top.ev.index = -1
+	}
+	n := len(e.queue) - 1
+	last := e.queue[n]
+	e.queue[n] = entry{} // release the closure
+	e.queue = e.queue[:n]
+	if n > 0 {
+		e.place(0, last)
+		e.siftDown(0)
+	}
+	return top
+}
+
+// remove deletes the entry at index i.
+func (e *Engine) remove(i int) {
+	if ev := e.queue[i].ev; ev != nil {
+		ev.index = -1
+	}
+	n := len(e.queue) - 1
+	last := e.queue[n]
+	e.queue[n] = entry{}
+	e.queue = e.queue[:n]
+	if i == n {
+		return
+	}
+	e.place(i, last)
+	e.siftDown(i)
+	e.siftUp(i)
+}
+
+// schedule validates t and enqueues fn, returning the entry's handle
+// slot untouched (ev may be nil for handle-free callers).
+func (e *Engine) schedule(t Time, fn func(), ev *Event) {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
 	}
-	ev := &Event{when: t, seq: e.seq, fn: fn, index: -1}
+	e.push(entry{when: t, seq: e.seq, fn: fn, ev: ev})
 	e.seq++
-	heap.Push(&e.queue, ev)
+}
+
+// At schedules fn to run at time t and returns a cancellable handle.
+// Scheduling in the past panics: it always indicates a modelling bug,
+// and silently reordering time would corrupt every metric downstream.
+func (e *Engine) At(t Time, fn func()) *Event {
+	ev := &Event{when: t, index: -1}
+	e.schedule(t, fn, ev)
 	return ev
 }
 
@@ -140,15 +235,31 @@ func (e *Engine) After(d Duration, fn func()) *Event {
 	return e.At(e.now+d, fn)
 }
 
+// Post schedules fn to run at time t without returning a handle. It is
+// the allocation-free path for fire-and-forget events — the vast
+// majority of scheduling in the runtime (enqueue delays, timer wakes,
+// spin expiries, ticks) — and fires in exactly the same (when, seq)
+// order as At-scheduled events.
+func (e *Engine) Post(t Time, fn func()) {
+	e.schedule(t, fn, nil)
+}
+
+// PostAfter schedules fn to run d nanoseconds from now, without a
+// handle.
+func (e *Engine) PostAfter(d Duration, fn func()) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %d", d))
+	}
+	e.schedule(e.now+d, fn, nil)
+}
+
 // Cancel removes a pending event from the queue. Cancelling an event that
 // already fired (or was already cancelled) is a no-op and returns false.
 func (e *Engine) Cancel(ev *Event) bool {
 	if ev == nil || ev.index < 0 {
 		return false
 	}
-	heap.Remove(&e.queue, ev.index)
-	ev.index = -1
-	ev.fn = nil
+	e.remove(ev.index)
 	return true
 }
 
@@ -160,10 +271,7 @@ func (e *Engine) Reschedule(ev *Event, t Time, fn func()) {
 		panic(fmt.Sprintf("sim: rescheduling event at %v before now %v", t, e.now))
 	}
 	ev.when = t
-	ev.seq = e.seq
-	e.seq++
-	ev.fn = fn
-	heap.Push(&e.queue, ev)
+	e.schedule(t, fn, ev)
 }
 
 // Step processes the next event. It returns false when the queue is empty.
@@ -171,15 +279,13 @@ func (e *Engine) Step() bool {
 	if len(e.queue) == 0 {
 		return false
 	}
-	ev := heap.Pop(&e.queue).(*Event)
-	if ev.when < e.now {
+	en := e.popMin()
+	if en.when < e.now {
 		panic("sim: event queue went backwards")
 	}
-	e.now = ev.when
-	fn := ev.fn
-	ev.fn = nil
+	e.now = en.when
 	e.steps++
-	fn()
+	en.fn()
 	if e.onStep != nil {
 		e.onStep()
 	}

@@ -293,3 +293,90 @@ func TestEngineStepsCount(t *testing.T) {
 		t.Fatalf("Steps = %d", e.Steps())
 	}
 }
+
+func TestPostOrderingInterleavesWithAt(t *testing.T) {
+	// Handle-free Post events share the sequence counter with At events,
+	// so same-instant events fire in exact scheduling order regardless of
+	// which API scheduled them.
+	e := NewEngine()
+	var order []int
+	e.At(10, func() { order = append(order, 0) })
+	e.Post(10, func() { order = append(order, 1) })
+	e.At(10, func() { order = append(order, 2) })
+	e.PostAfter(10, func() { order = append(order, 3) })
+	e.Post(5, func() { order = append(order, 4) })
+	e.Run(0)
+	want := []int{4, 0, 1, 2, 3}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestPostAfterNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for negative PostAfter delay")
+		}
+	}()
+	NewEngine().PostAfter(-1, func() {})
+}
+
+func TestCancelAmongPostedEvents(t *testing.T) {
+	// Cancelling a handled event must not disturb surrounding handle-free
+	// entries, across random interleavings that exercise heap removal from
+	// interior positions of the 4-ary heap.
+	f := func(seed uint64, n uint8) bool {
+		r := NewRand(seed)
+		e := NewEngine()
+		var fired []Time
+		var events []*Event
+		cancelled := 0
+		for i := 0; i < int(n)+4; i++ {
+			d := Duration(r.Intn(500))
+			if r.Intn(2) == 0 {
+				e.PostAfter(d, func() { fired = append(fired, e.Now()) })
+			} else {
+				events = append(events, e.After(d, func() { fired = append(fired, e.Now()) }))
+			}
+			if len(events) > 0 && r.Intn(3) == 0 {
+				if e.Cancel(events[r.Intn(len(events))]) {
+					cancelled++
+				}
+			}
+		}
+		e.Run(0)
+		if len(fired)+cancelled != int(n)+4 {
+			return false
+		}
+		for i := 1; i < len(fired); i++ {
+			if fired[i] < fired[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRescheduleFiredEventAfterPosts(t *testing.T) {
+	// Re-arming an already-fired event (how completion timers behave in
+	// internal/cpu) must keep working with value entries in the queue.
+	e := NewEngine()
+	count := 0
+	var ev *Event
+	ev = e.At(5, func() { count++ })
+	e.Post(7, func() {
+		e.Reschedule(ev, 12, func() { count += 10 })
+	})
+	e.Run(0)
+	if count != 11 {
+		t.Fatalf("count = %d, want 11", count)
+	}
+	if ev.Scheduled() {
+		t.Fatal("event still scheduled after firing")
+	}
+}
