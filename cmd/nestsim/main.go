@@ -21,6 +21,7 @@ import (
 	"os"
 	"sort"
 	"text/tabwriter"
+	"time"
 
 	"repro/internal/experiments"
 	"repro/internal/invariant"
@@ -53,6 +54,7 @@ func main() {
 		faultsSpec   = flag.String("faults", "", "fault plan, e.g. \"off:c3@2s+500ms,throttle:s0@1s=2.1GHz\" (see docs/ROBUSTNESS.md)")
 		invariantsOn = flag.Bool("invariants", false, "sweep scheduler invariants after every event (first run only); exit non-zero on any violation")
 		parallel     = flag.Int("parallel", 1, "workers for repeat mode: 1 = serial, -1 = GOMAXPROCS (results are byte-identical either way)")
+		cellTO       = flag.Duration("cell-timeout", 0, "per-run wall-clock budget (0 = derive from scale, -1ns = no watchdog)")
 	)
 	flag.Parse()
 
@@ -103,7 +105,7 @@ func main() {
 	}
 
 	if *compare {
-		if err := runCompare(*machineName, *wlName, *scale, *runs, *seed, *faultsSpec, *invariantsOn, *parallel); err != nil {
+		if err := runCompare(*machineName, *wlName, *scale, *runs, *seed, *faultsSpec, *invariantsOn, *parallel, *cellTO); err != nil {
 			fmt.Fprintln(os.Stderr, "nestsim:", err)
 			os.Exit(1)
 		}
@@ -117,7 +119,7 @@ func main() {
 		}
 		return
 	}
-	if err := runMain(rs, *runs, *parallel, *chromeOut, *eventsOut, *promOut, *countersOn, *explainOn); err != nil {
+	if err := runMain(rs, *runs, *parallel, *cellTO, *chromeOut, *eventsOut, *promOut, *countersOn, *explainOn); err != nil {
 		fmt.Fprintln(os.Stderr, "nestsim:", err)
 		os.Exit(1)
 	}
@@ -126,7 +128,7 @@ func main() {
 // runMain executes the standard flow: N runs, the first carrying any
 // requested observers (events, explain, chrome trace, counters), spread
 // over `workers` goroutines (repeats are independent simulations).
-func runMain(rs experiments.RunSpec, runs, workers int, chromeOut, eventsOut, promOut string, countersOn, explainOn bool) error {
+func runMain(rs experiments.RunSpec, runs, workers int, cellTO time.Duration, chromeOut, eventsOut, promOut string, countersOn, explainOn bool) error {
 	var recs []obs.Recorder
 	var jsonl *obs.JSONLRecorder
 	var eventsF *os.File
@@ -156,7 +158,8 @@ func runMain(rs experiments.RunSpec, runs, workers int, chromeOut, eventsOut, pr
 		rs.Obs = obs.New(recs...)
 	}
 
-	results, err := experiments.RunRepeatsParallel(rs, runs, workers)
+	results, err := experiments.RunRepeatsOpts(rs, runs,
+		experiments.PoolOptions{Workers: workers, CellTimeout: cellTO})
 	if err != nil {
 		return err
 	}
@@ -293,7 +296,7 @@ func pctStd(xs []float64) float64 {
 	return 100 * metrics.Stddev(xs) / m
 }
 
-func runCompare(machineName, wlName string, scale float64, runs int, seed uint64, faults string, invariants bool, workers int) error {
+func runCompare(machineName, wlName string, scale float64, runs int, seed uint64, faults string, invariants bool, workers int, cellTO time.Duration) error {
 	configs := []struct{ sched, gov string }{
 		{"cfs", "schedutil"},
 		{"cfs", "performance"},
@@ -319,7 +322,8 @@ func runCompare(machineName, wlName string, scale float64, runs int, seed uint64
 		if invariants {
 			rs.Check = invariant.New()
 		}
-		results, err := experiments.RunRepeatsParallel(rs, runs, workers)
+		results, err := experiments.RunRepeatsOpts(rs, runs,
+			experiments.PoolOptions{Workers: workers, CellTimeout: cellTO})
 		if err != nil {
 			return err
 		}

@@ -1,10 +1,70 @@
 package experiments
 
 import (
+	"crypto/sha256"
 	"encoding/csv"
+	"encoding/hex"
 	"encoding/json"
+	"fmt"
 	"io"
+	"strconv"
+
+	"repro/internal/checkpoint"
+	"repro/internal/fault"
+	"repro/internal/metrics"
 )
+
+// EncodeResult renders a run's result in the canonical journal form.
+// The encoding round-trips exactly: DecodeResult(EncodeResult(r))
+// re-encodes to the same bytes (metrics.Latency sorts its samples for
+// this), which is what lets a resumed grid reproduce an uninterrupted
+// run byte for byte.
+func EncodeResult(res *metrics.Result) (json.RawMessage, error) {
+	return json.Marshal(res)
+}
+
+// DecodeResult restores a result encoded by EncodeResult.
+func DecodeResult(raw json.RawMessage) (*metrics.Result, error) {
+	res := &metrics.Result{}
+	if err := json.Unmarshal(raw, res); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// CellKey returns the canonical identity of a grid cell: a hash over
+// every input that determines the cell's encoded result — the run-
+// defining RunSpec fields, the canonicalised fault plan, the journal
+// format version, and the code-version salt — so a journaled result is
+// reused only for a byte-for-byte-equivalent re-run. Observer presence
+// is part of the identity because it changes the result's content
+// (Stats, invariant-violation counts), not just side channels.
+//
+// ok is false for cells without a stable identity: an explicit machine
+// Spec (no canonical name), or attached Trace/Series/Timeline streams
+// (their output goes elsewhere, so replaying the Result alone would
+// silently skip the side effects the caller asked for). Such cells
+// always run.
+func CellKey(rs RunSpec) (string, bool) {
+	if rs.Spec != nil || rs.Trace != nil || rs.Series != nil || rs.Timeline != nil {
+		return "", false
+	}
+	plan, err := fault.Parse(rs.Faults)
+	if err != nil {
+		return "", false
+	}
+	scale := rs.Scale
+	if scale <= 0 {
+		scale = DefaultScale
+	}
+	id := fmt.Sprintf("cell|v%d|%s|%s|%s|%s|%s|scale=%s|seed=%d|limit=%d|faults=%s|obs=%t|check=%t",
+		checkpoint.Version, checkpoint.CodeSalt(),
+		rs.Machine, rs.Scheduler, rs.Governor, rs.Workload,
+		strconv.FormatFloat(scale, 'g', -1, 64), rs.Seed, int64(rs.Limit),
+		plan.String(), rs.Obs.Enabled(), rs.Check != nil)
+	sum := sha256.Sum256([]byte(id))
+	return hex.EncodeToString(sum[:]), true
+}
 
 // RenderCSV writes the report's tabular sections as CSV: one header row
 // per section with a leading "section" column. Preformatted content

@@ -1,11 +1,14 @@
 package experiments
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"sort"
 	"strings"
+	"time"
 
+	"repro/internal/checkpoint"
 	"repro/internal/metrics"
 	"repro/internal/obs"
 )
@@ -32,6 +35,21 @@ type Options struct {
 	// KeepGoing reports every failing cell instead of stopping the grid
 	// at the first error.
 	KeepGoing bool
+	// Cancel, when non-nil, stops the experiment's grids when closed:
+	// in-flight cells drain, unstarted cells are abandoned (see
+	// PoolOptions.Cancel).
+	Cancel <-chan struct{}
+	// CellTimeout is the per-cell wall-clock budget (0 = derive from
+	// scale, < 0 = no watchdog); see PoolOptions.CellTimeout.
+	CellTimeout time.Duration
+	// Journal, when non-nil, records each completed cell durably; Done
+	// feeds previously journaled results back in so matching cells are
+	// skipped (see PoolOptions).
+	Journal *checkpoint.Journal
+	Done    map[string]json.RawMessage
+	// Stats, when non-nil, accumulates provenance counts across the
+	// experiment's grids.
+	Stats *GridStats
 }
 
 // workers resolves the effective pool width, honouring the shared-hub
@@ -48,7 +66,15 @@ func (o Options) workers() int {
 
 // pool returns the PoolOptions the experiment's grids should use.
 func (o Options) pool() PoolOptions {
-	return PoolOptions{Workers: o.workers(), KeepGoing: o.KeepGoing}
+	return PoolOptions{
+		Workers:     o.workers(),
+		KeepGoing:   o.KeepGoing,
+		Cancel:      o.Cancel,
+		CellTimeout: o.CellTimeout,
+		Journal:     o.Journal,
+		Done:        o.Done,
+		Stats:       o.Stats,
+	}
 }
 
 func (o *Options) fill() {

@@ -98,7 +98,6 @@ func resilience(opt Options) (*Report, error) {
 		base := map[string]float64{}
 		for _, rf := range resilienceFaults {
 			for _, cfg := range resilienceConfigs {
-				c := cellsIn[i/opt.Runs]
 				results := all[i : i+opt.Runs]
 				i += opt.Runs
 				times := metrics.Runtimes(results)
@@ -111,11 +110,15 @@ func resilience(opt Options) (*Report, error) {
 					vs = pct(metrics.Speedup(b, mean))
 				}
 				stats := results[0].Stats
+				// Violations come from the encoded result, not the live
+				// checker: a cell restored from a resume journal never
+				// touched c.rs.Check, but its count travelled in
+				// Custom["invariant_violations"].
 				sec.Rows = append(sec.Rows, []string{
 					rf.name, cfg.String(),
 					fmt.Sprintf("%.3f ±%.0f%%", mean, cellStd(times)),
 					vs,
-					fmt.Sprintf("%d", c.rs.Check.Total()),
+					fmt.Sprintf("%d", int64(results[0].Custom["invariant_violations"])),
 					fmt.Sprintf("%d", stats.Counter("fault.offline")),
 					fmt.Sprintf("%d", stats.Counter("cpu.evacuated")),
 					fmt.Sprintf("%d", stats.Counter("nest.evacuate")),

@@ -138,6 +138,13 @@ type RunSpec struct {
 	// scheduler invariants after every event (see internal/invariant).
 	// Like the other observers it attaches to the first repeat only.
 	Check *invariant.Checker
+	// onStart, when set, observes the built machine just before the run
+	// loop starts. The grid pool's watchdog uses it to get a handle it
+	// can stop from the timer goroutine; tests use it to inject
+	// failures. Deliberately unexported: it cannot change the result of
+	// a run that completes, so it stays out of the cell's identity
+	// (CellKey).
+	onStart func(*cpu.Machine)
 }
 
 // String names the cell compactly for error reports and logs, e.g.
@@ -219,6 +226,9 @@ func RunOnSpec(spec *machine.Spec, rs RunSpec) (*metrics.Result, error) {
 	})
 	plan.Apply(m)
 	w.Install(m, rs.Scale)
+	if rs.onStart != nil {
+		rs.onStart(m)
+	}
 	res := m.Run(rs.Limit)
 	res.Workload = rs.Workload
 	if rs.Check != nil {
@@ -275,7 +285,14 @@ func RunRepeats(rs RunSpec, n int) ([]*metrics.Result, error) {
 // seeds across workers (<= 1 runs serially). Repeats are independent
 // simulations, so the results are byte-identical to the serial order.
 func RunRepeatsParallel(rs RunSpec, n, workers int) ([]*metrics.Result, error) {
-	out, err := RunGrid(RepeatSpecs(rs, n), PoolOptions{Workers: workers})
+	return RunRepeatsOpts(rs, n, PoolOptions{Workers: workers})
+}
+
+// RunRepeatsOpts is RunRepeats with full pool options (watchdog budget,
+// journal, cancellation) for callers that need more than a worker
+// count.
+func RunRepeatsOpts(rs RunSpec, n int, opts PoolOptions) ([]*metrics.Result, error) {
+	out, err := RunGrid(RepeatSpecs(rs, n), opts)
 	if err != nil {
 		return nil, err
 	}

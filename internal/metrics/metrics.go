@@ -5,6 +5,7 @@
 package metrics
 
 import (
+	"encoding/json"
 	"fmt"
 	"math"
 	"sort"
@@ -129,6 +130,39 @@ func (l *Latency) Percentile(p float64) sim.Duration {
 		idx = len(l.samples) - 1
 	}
 	return l.samples[idx]
+}
+
+// latencyWire is Latency's JSON form. Samples are marshaled sorted so
+// the encoding is canonical: the same run encodes to the same bytes no
+// matter whether a percentile query sorted it first, which the
+// checkpoint journal's byte-identity guarantee depends on.
+type latencyWire struct {
+	Samples []sim.Duration `json:"samples,omitempty"`
+}
+
+// MarshalJSON encodes the samples in sorted order (without mutating l).
+// An empty Latency encodes as {}.
+func (l Latency) MarshalJSON() ([]byte, error) {
+	if len(l.samples) == 0 {
+		return []byte("{}"), nil
+	}
+	s := l.samples
+	if !l.sorted {
+		s = append([]sim.Duration(nil), l.samples...)
+		sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	}
+	return json.Marshal(latencyWire{Samples: s})
+}
+
+// UnmarshalJSON restores samples written by MarshalJSON.
+func (l *Latency) UnmarshalJSON(data []byte) error {
+	var w latencyWire
+	if err := json.Unmarshal(data, &w); err != nil {
+		return err
+	}
+	l.samples = w.Samples
+	l.sorted = sort.SliceIsSorted(w.Samples, func(i, j int) bool { return w.Samples[i] < w.Samples[j] })
+	return nil
 }
 
 // Counters tallies scheduler events over a run.

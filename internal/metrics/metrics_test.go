@@ -1,6 +1,7 @@
 package metrics
 
 import (
+	"encoding/json"
 	"math"
 	"testing"
 	"testing/quick"
@@ -209,5 +210,59 @@ func TestResultCustom(t *testing.T) {
 	r.SetCustom("ops", 123)
 	if r.Custom["ops"] != 123 {
 		t.Fatal("custom metric not stored")
+	}
+}
+
+func TestLatencyJSONRoundTrip(t *testing.T) {
+	var l Latency
+	for _, d := range []sim.Duration{30, 10, 20, 10} {
+		l.Add(d)
+	}
+	b, err := json.Marshal(&l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != `{"samples":[10,10,20,30]}` {
+		t.Errorf("marshal = %s, want sorted samples", b)
+	}
+	// Marshaling must not mutate: insertion order is still intact.
+	if l.samples[0] != 30 {
+		t.Error("MarshalJSON sorted the receiver's samples in place")
+	}
+	var back Latency
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Count() != 4 || back.Percentile(100) != 30 || back.Percentile(0) != 10 {
+		t.Errorf("round trip: count=%d p100=%d p0=%d", back.Count(), back.Percentile(100), back.Percentile(0))
+	}
+	b2, err := json.Marshal(&back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b2) != string(b) {
+		t.Errorf("re-encode differs: %s vs %s", b2, b)
+	}
+}
+
+func TestLatencyJSONEmpty(t *testing.T) {
+	// The pre-journal encoding of an empty Latency was {} (unexported
+	// fields); it must stay exactly that, by value or by pointer.
+	var l Latency
+	for _, v := range []any{l, &l} {
+		b, err := json.Marshal(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(b) != "{}" {
+			t.Errorf("empty latency marshals as %s, want {}", b)
+		}
+	}
+	var back Latency
+	if err := json.Unmarshal([]byte("{}"), &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Count() != 0 {
+		t.Errorf("empty round trip has %d samples", back.Count())
 	}
 }

@@ -9,7 +9,10 @@
 // experiment grid pool does exactly that).
 package sim
 
-import "fmt"
+import (
+	"fmt"
+	"sync/atomic"
+)
 
 // Time is a point in virtual time, in nanoseconds since the start of the
 // simulation.
@@ -77,6 +80,11 @@ type Engine struct {
 	// invariant checker (internal/invariant) uses to validate machine
 	// state after each scheduling event. Nil costs nothing.
 	onStep func()
+	// stopRequested is the one piece of engine state another goroutine
+	// may touch: watchdogs set it to ask the run loop to stop at the
+	// next event boundary. Everything else on the engine remains
+	// single-goroutine.
+	stopRequested atomic.Bool
 }
 
 // NewEngine returns an engine with the clock at zero and an empty queue.
@@ -292,10 +300,21 @@ func (e *Engine) Step() bool {
 	return true
 }
 
-// Run processes events until the queue is empty or the clock passes limit.
-// A limit of zero means no limit. It returns the final virtual time.
+// RequestStop asks the run loop to stop at the next event boundary.
+// It is the only engine method safe to call from another goroutine —
+// watchdog timers use it to cancel a wedged or over-budget run. The
+// current event completes; queued events stay queued; the clock stays
+// wherever the last processed event left it.
+func (e *Engine) RequestStop() { e.stopRequested.Store(true) }
+
+// StopRequested reports whether RequestStop has been called.
+func (e *Engine) StopRequested() bool { return e.stopRequested.Load() }
+
+// Run processes events until the queue is empty, the clock passes
+// limit, or a stop is requested. A limit of zero means no limit. It
+// returns the final virtual time.
 func (e *Engine) Run(limit Time) Time {
-	for len(e.queue) > 0 {
+	for len(e.queue) > 0 && !e.stopRequested.Load() {
 		next := e.queue[0].when
 		if limit > 0 && next > limit {
 			e.now = limit
@@ -306,9 +325,10 @@ func (e *Engine) Run(limit Time) Time {
 	return e.now
 }
 
-// RunUntil processes events while cond returns true and events remain.
+// RunUntil processes events while cond returns true, events remain,
+// and no stop has been requested.
 func (e *Engine) RunUntil(cond func() bool) Time {
-	for len(e.queue) > 0 && !cond() {
+	for len(e.queue) > 0 && !e.stopRequested.Load() && !cond() {
 		e.Step()
 	}
 	return e.now

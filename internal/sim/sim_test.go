@@ -380,3 +380,53 @@ func TestRescheduleFiredEventAfterPosts(t *testing.T) {
 		t.Fatal("event still scheduled after firing")
 	}
 }
+
+func TestEngineRequestStop(t *testing.T) {
+	e := NewEngine()
+	var fired []Time
+	for i := Time(1); i <= 5; i++ {
+		tt := i
+		e.Post(tt, func() { fired = append(fired, tt) })
+	}
+	e.Post(3, func() { e.RequestStop() })
+	end := e.Run(0)
+	// Events at t=1..3 fire (the stop event shares t=3 but was posted
+	// after, so the value event at 3 has already run); 4 and 5 must not.
+	if len(fired) != 3 || fired[2] != 3 {
+		t.Fatalf("fired = %v, want [1 2 3]", fired)
+	}
+	if end != 3 {
+		t.Errorf("clock = %v, want 3", end)
+	}
+	if !e.StopRequested() {
+		t.Error("StopRequested = false after RequestStop")
+	}
+	if e.Pending() != 2 {
+		t.Errorf("pending = %d, want the 2 unprocessed events", e.Pending())
+	}
+	// RunUntil honours the same flag: nothing more runs.
+	e.RunUntil(func() bool { return false })
+	if len(fired) != 3 {
+		t.Errorf("RunUntil processed events after stop: %v", fired)
+	}
+}
+
+func TestEngineRequestStopConcurrent(t *testing.T) {
+	// The watchdog scenario: another goroutine stops a self-sustaining
+	// event chain. Under -race this also proves RequestStop is the one
+	// engine method safe to call cross-goroutine.
+	e := NewEngine()
+	var chain func()
+	chain = func() { e.PostAfter(Millisecond, chain) }
+	e.PostAfter(Millisecond, chain)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		e.Run(0) // would never return without the stop below
+	}()
+	e.RequestStop()
+	<-done
+	if !e.StopRequested() {
+		t.Error("StopRequested = false")
+	}
+}
