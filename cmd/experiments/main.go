@@ -181,6 +181,7 @@ func run() int {
 			fmt.Fprintln(os.Stderr, "experiments:", err)
 			return 2
 		}
+		//lint:wallclock progress display only: wall time is printed to the console, not written to reports
 		start := time.Now()
 		rep, err := e.Run(opt)
 		if err != nil {
@@ -212,6 +213,7 @@ func run() int {
 			}
 		default:
 			rep.Render(os.Stdout)
+			//lint:wallclock progress display only: wall time is printed to the console, not written to reports
 			fmt.Printf("(%s finished in %.1fs wall)\n\n", id, time.Since(start).Seconds())
 		}
 	}

@@ -1,0 +1,119 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// moduleRoot walks up from the working directory to go.mod.
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("no go.mod above working directory")
+		}
+		dir = parent
+	}
+}
+
+// build compiles the nestlint binary once per test run.
+func build(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "nestlint")
+	cmd := exec.Command("go", "build", "-o", bin, "./cmd/nestlint")
+	cmd.Dir = moduleRoot(t)
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+func TestCLI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the nestlint binary")
+	}
+	bin := build(t)
+	root := moduleRoot(t)
+
+	t.Run("VersionProbe", func(t *testing.T) {
+		// go vet's tool-ID probe requires "<name> version <id>".
+		out, err := exec.Command(bin, "-V=full").Output()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := "nestlint version " + analysis.Version + "\n"
+		if string(out) != want {
+			t.Errorf("-V=full = %q, want %q", out, want)
+		}
+	})
+
+	t.Run("List", func(t *testing.T) {
+		out, err := exec.Command(bin, "-list").Output()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, a := range analysis.Suite() {
+			if !strings.Contains(string(out), a.Name) {
+				t.Errorf("-list output missing analyzer %s:\n%s", a.Name, out)
+			}
+		}
+		if got, want := len(strings.Split(strings.TrimSpace(string(out)), "\n")), len(analysis.Suite()); got != want {
+			t.Errorf("-list printed %d lines, want %d", got, want)
+		}
+	})
+
+	t.Run("CleanRepoExitsZero", func(t *testing.T) {
+		cmd := exec.Command(bin, "-C", root, "./...")
+		if out, err := cmd.CombinedOutput(); err != nil {
+			t.Errorf("nestlint ./... on clean repo failed: %v\n%s", err, out)
+		}
+	})
+
+	t.Run("JSONOnCleanPackage", func(t *testing.T) {
+		out, err := exec.Command(bin, "-C", root, "-json", "./internal/sim").Output()
+		if err != nil {
+			t.Fatalf("nestlint -json ./internal/sim: %v", err)
+		}
+		var diags []analysis.Diagnostic
+		if err := json.Unmarshal(out, &diags); err != nil {
+			t.Fatalf("-json output is not a diagnostic array: %v\n%s", err, out)
+		}
+		if len(diags) != 0 {
+			t.Errorf("clean package produced %d diagnostics: %+v", len(diags), diags)
+		}
+	})
+
+	t.Run("SeededViolationExitsOne", func(t *testing.T) {
+		// A wall-clock call seeded into internal/cfs must fail the run —
+		// the same behavior the CI lint job relies on.
+		seed := filepath.Join(root, "internal", "cfs", "lintseed_test_violation.go")
+		src := "package cfs\n\nimport \"time\"\n\nfunc lintSeedViolation() time.Time { return time.Now() }\n"
+		if err := os.WriteFile(seed, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		defer os.Remove(seed)
+		cmd := exec.Command(bin, "-C", root, "./internal/cfs")
+		out, err := cmd.CombinedOutput()
+		ee, ok := err.(*exec.ExitError)
+		if !ok || ee.ExitCode() != 1 {
+			t.Fatalf("seeded violation: err=%v, want exit status 1\n%s", err, out)
+		}
+		if !strings.Contains(string(out), "simtime") || !strings.Contains(string(out), "time.Now") {
+			t.Errorf("diagnostic missing analyzer name or call site:\n%s", out)
+		}
+	})
+}

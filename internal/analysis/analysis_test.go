@@ -1,0 +1,102 @@
+package analysis
+
+import (
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+func TestParseSuppressions(t *testing.T) {
+	src := `package p
+
+//lint:maporder keys are a set, order irrelevant
+var a int
+
+var b int //lint:simtime,detrand host tool
+
+//lint:obsguard
+var c int
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	supps := parseSuppressions(fset, f)
+	if len(supps) != 3 {
+		t.Fatalf("got %d suppressions, want 3", len(supps))
+	}
+	if got := supps[0]; got.Line != 3 || got.Keys[0] != "maporder" || got.Reason != "keys are a set, order irrelevant" {
+		t.Errorf("first suppression parsed wrong: %+v", got)
+	}
+	if got := supps[1]; len(got.Keys) != 2 || got.Keys[0] != "simtime" || got.Keys[1] != "detrand" {
+		t.Errorf("multi-key suppression parsed wrong: %+v", got)
+	}
+	if got := supps[2]; got.Reason != "" {
+		t.Errorf("reasonless suppression parsed wrong: %+v", got)
+	}
+}
+
+func TestSuppressionMatching(t *testing.T) {
+	pkg := &Package{Suppressions: []*Suppression{
+		{Keys: []string{"wallclock"}, Reason: "documented", Line: 10, File: "f.go"},
+		{Keys: []string{"maporder"}, Reason: "", Line: 20, File: "f.go"},
+	}}
+	// Alias: //lint:wallclock suppresses the simtime analyzer, on its
+	// own line and the line below.
+	for _, line := range []int{10, 11} {
+		if s := pkg.suppressionAt("simtime", token.Position{Filename: "f.go", Line: line}); s == nil || s.Reason == "" {
+			t.Errorf("line %d: wallclock alias did not suppress simtime", line)
+		}
+	}
+	if s := pkg.suppressionAt("simtime", token.Position{Filename: "f.go", Line: 12}); s != nil {
+		t.Error("suppression leaked two lines below the comment")
+	}
+	if s := pkg.suppressionAt("simtime", token.Position{Filename: "g.go", Line: 10}); s != nil {
+		t.Error("suppression leaked across files")
+	}
+	// A reasonless comment is found but inert (Report appends a hint).
+	if s := pkg.suppressionAt("maporder", token.Position{Filename: "f.go", Line: 21}); s == nil || s.Reason != "" {
+		t.Error("reasonless suppression should be returned with empty reason")
+	}
+}
+
+func TestApplyEdits(t *testing.T) {
+	src := []byte("package p\n\nfunc f() int { return 1 }\n")
+	out, err := ApplyEdits(src, []TextEdit{
+		{Start: 33, End: 34, New: "2"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(out) != "package p\n\nfunc f() int { return 2 }\n" {
+		t.Errorf("edit applied wrong:\n%s", out)
+	}
+	if _, err := ApplyEdits(src, []TextEdit{{Start: 5, End: 999}}); err == nil {
+		t.Error("out-of-range edit not rejected")
+	}
+}
+
+func TestScopeMatching(t *testing.T) {
+	cases := []struct {
+		path          string
+		deterministic bool
+		replay        bool
+	}{
+		{"repro/internal/sim", true, true},
+		{"repro/internal/sched/schedtest", true, true},
+		{"repro/internal/cfs/lintfixture", true, true},
+		{"repro/internal/experiments", false, true},
+		{"repro/cmd/nestsim", false, true},
+		{"repro/internal/analysis", false, false},
+		{"repro/internal/simother", false, false}, // prefix must respect path boundaries
+	}
+	for _, c := range cases {
+		if got := inDeterministicScope(c.path); got != c.deterministic {
+			t.Errorf("inDeterministicScope(%q) = %v, want %v", c.path, got, c.deterministic)
+		}
+		if got := inReplayScope(c.path); got != c.replay {
+			t.Errorf("inReplayScope(%q) = %v, want %v", c.path, got, c.replay)
+		}
+	}
+}

@@ -1,0 +1,250 @@
+// Package antest is a small analysistest analogue for the nestlint
+// suite (internal/analysis), built on the standard library only.
+//
+// Fixture packages live in internal/analysis/testdata/src/<name>. Each
+// fixture is parsed and type-checked against the repository's real
+// build-cache export data, so fixtures may import repro packages
+// (repro/internal/sim, repro/internal/obs) and the standard library.
+// Expected findings are written as trailing comments:
+//
+//	time.Now() // want `time\.Now is forbidden`
+//
+// Each backquoted or quoted string is a regular expression that must
+// match exactly one diagnostic reported on that line; diagnostics with
+// no matching want (and wants with no diagnostic) fail the test.
+//
+// Fixtures are type-checked under a caller-chosen pretend import path
+// (for example repro/internal/cfs/lintfixture) so the suite's
+// path-prefix scoping treats them as part of the package under test.
+package antest
+
+import (
+	"fmt"
+	"go/importer"
+	"go/token"
+	"io"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// stdExtras are std packages fixtures may import beyond what the repo
+// itself pulls in.
+var stdExtras = []string{"time", "math/rand", "math/rand/v2", "sort", "fmt", "io", "sync", "strings"}
+
+var exportOnce struct {
+	sync.Once
+	lookup func(string) (io.ReadCloser, error)
+	root   string
+	err    error
+}
+
+// repoRoot walks up from the working directory to the module root.
+func repoRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("antest: no go.mod above working directory")
+		}
+		dir = parent
+	}
+}
+
+// exportLookup builds (once) the shared export-data lookup covering the
+// whole repository plus stdExtras.
+func exportLookup(t *testing.T) (string, func(string) (io.ReadCloser, error)) {
+	t.Helper()
+	exportOnce.Do(func() {
+		root, err := repoRoot()
+		if err != nil {
+			exportOnce.err = err
+			return
+		}
+		patterns := append([]string{"./..."}, stdExtras...)
+		listed, err := analysis.GoList(root, patterns...)
+		if err != nil {
+			exportOnce.err = err
+			return
+		}
+		exportOnce.root = root
+		exportOnce.lookup = analysis.ExportLookup(listed)
+	})
+	if exportOnce.err != nil {
+		t.Fatalf("antest: %v", exportOnce.err)
+	}
+	return exportOnce.root, exportOnce.lookup
+}
+
+// Load type-checks testdata/src/<fixture> under the pretend import
+// path and returns the package.
+func Load(t *testing.T, fixture, pretendPath string) *analysis.Package {
+	t.Helper()
+	root, _ := exportLookup(t)
+	return LoadDir(t, filepath.Join(root, "internal", "analysis", "testdata", "src", fixture), pretendPath)
+}
+
+// LoadDir type-checks every .go file in dir as one package under the
+// pretend import path.
+func LoadDir(t *testing.T, dir, pretendPath string) *analysis.Package {
+	t.Helper()
+	_, lookup := exportLookup(t)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("antest: %v", err)
+	}
+	var goFiles []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			goFiles = append(goFiles, filepath.Join(dir, e.Name()))
+		}
+	}
+	sort.Strings(goFiles)
+	if len(goFiles) == 0 {
+		t.Fatalf("antest: no fixture files in %s", dir)
+	}
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "gc", lookup)
+	pkg, err := analysis.TypeCheck(fset, imp, pretendPath, dir, goFiles)
+	if err != nil {
+		t.Fatalf("antest: %v", err)
+	}
+	return pkg
+}
+
+// Run loads the fixture and checks a's diagnostics against its // want
+// comments.
+func Run(t *testing.T, a *analysis.Analyzer, fixture, pretendPath string) {
+	t.Helper()
+	pkg := Load(t, fixture, pretendPath)
+	diags := analysis.RunAnalyzers([]*analysis.Package{pkg}, []*analysis.Analyzer{a})
+
+	type key struct {
+		file string
+		line int
+	}
+	wants := map[key][]*regexp.Regexp{}
+	for _, name := range fixtureFiles(pkg) {
+		for line, exprs := range parseWants(t, name) {
+			wants[key{name, line}] = exprs
+		}
+	}
+	matched := map[key][]bool{}
+	for _, d := range diags {
+		k := key{d.Pos.Filename, d.Pos.Line}
+		ws := wants[k]
+		if matched[k] == nil {
+			matched[k] = make([]bool, len(ws))
+		}
+		found := false
+		for i, w := range ws {
+			if matched[k][i] {
+				continue
+			}
+			if w.MatchString(d.Message) {
+				matched[k][i] = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s: unexpected diagnostic [%s]: %s", d.Pos, d.Analyzer, d.Message)
+		}
+	}
+	for k, ws := range wants {
+		for i, w := range ws {
+			if matched[k] == nil || !matched[k][i] {
+				t.Errorf("%s:%d: want %q: no matching diagnostic", k.file, k.line, w)
+			}
+		}
+	}
+}
+
+func fixtureFiles(pkg *analysis.Package) []string {
+	var names []string
+	for _, f := range pkg.Files {
+		names = append(names, pkg.Fset.Position(f.Pos()).Filename)
+	}
+	return names
+}
+
+var wantRe = regexp.MustCompile(`//\s*want\s+(.*)$`)
+
+// parseWants scans a fixture file for `// want "re" ...` comments and
+// returns the expected-diagnostic regexps per line.
+func parseWants(t *testing.T, filename string) map[int][]*regexp.Regexp {
+	t.Helper()
+	data, err := os.ReadFile(filename)
+	if err != nil {
+		t.Fatalf("antest: %v", err)
+	}
+	out := map[int][]*regexp.Regexp{}
+	for i, line := range strings.Split(string(data), "\n") {
+		m := wantRe.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		rest := strings.TrimSpace(m[1])
+		var exprs []*regexp.Regexp
+		for rest != "" {
+			var lit string
+			switch rest[0] {
+			case '`':
+				end := strings.IndexByte(rest[1:], '`')
+				if end < 0 {
+					t.Fatalf("%s:%d: unterminated want pattern", filename, i+1)
+				}
+				lit, rest = rest[1:1+end], strings.TrimSpace(rest[end+2:])
+			case '"':
+				var err error
+				endIdx := quotedEnd(rest)
+				if endIdx < 0 {
+					t.Fatalf("%s:%d: unterminated want pattern", filename, i+1)
+				}
+				lit, err = strconv.Unquote(rest[:endIdx+1])
+				if err != nil {
+					t.Fatalf("%s:%d: bad want pattern: %v", filename, i+1, err)
+				}
+				rest = strings.TrimSpace(rest[endIdx+1:])
+			default:
+				t.Fatalf("%s:%d: want patterns must be quoted or backquoted", filename, i+1)
+			}
+			re, err := regexp.Compile(lit)
+			if err != nil {
+				t.Fatalf("%s:%d: bad want regexp: %v", filename, i+1, err)
+			}
+			exprs = append(exprs, re)
+		}
+		if len(exprs) > 0 {
+			out[i+1] = exprs
+		}
+	}
+	return out
+}
+
+// quotedEnd returns the index of the closing quote of a leading
+// double-quoted Go string literal, or -1.
+func quotedEnd(s string) int {
+	for i := 1; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			i++
+		case '"':
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,55 @@
+package analysis_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("no go.mod above working directory")
+		}
+		dir = parent
+	}
+}
+
+// TestRepoIsNestlintClean runs the whole suite over ./... — the same
+// check CI's lint job performs — so a contract regression fails plain
+// `go test ./...` even without CI.
+func TestRepoIsNestlintClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole repository")
+	}
+	pkgs, err := analysis.Load(repoRoot(t), "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := analysis.RunAnalyzers(pkgs, analysis.Suite())
+	for _, d := range diags {
+		t.Errorf("%s: [%s] %s", d.Pos, d.Analyzer, d.Message)
+	}
+
+	// Every //lint: allowlist comment must still be load-bearing:
+	// a suppression that no longer matches a diagnostic is stale and
+	// should be deleted rather than quietly outlive its justification.
+	for _, pkg := range pkgs {
+		for _, s := range pkg.Suppressions {
+			if s.Reason != "" && !s.Used {
+				t.Errorf("%s:%d: stale //lint:%v comment: suppresses nothing; delete it", s.File, s.Line, s.Keys)
+			}
+		}
+	}
+}

@@ -1,0 +1,76 @@
+package analysis
+
+import (
+	"go/ast"
+	"strconv"
+)
+
+// globalRandFuncs are the math/rand and math/rand/v2 package-level
+// functions that draw from the shared, randomly seeded global source.
+// rand.New(rand.NewSource(seed)) is deliberately absent: an explicitly
+// seeded generator is reproducible (and is what tests use).
+var globalRandFuncs = map[string]bool{
+	// math/rand
+	"Seed": true, "Int": true, "Intn": true, "Int31": true, "Int31n": true,
+	"Int63": true, "Int63n": true, "Uint32": true, "Uint64": true,
+	"Float32": true, "Float64": true, "ExpFloat64": true, "NormFloat64": true,
+	"Perm": true, "Shuffle": true, "Read": true,
+	// math/rand/v2 additions
+	"IntN": true, "Int32": true, "Int32N": true, "Int64N": true,
+	"Uint": true, "UintN": true, "Uint32N": true, "Uint64N": true, "N": true,
+}
+
+var randPkgs = map[string]bool{
+	"math/rand":    true,
+	"math/rand/v2": true,
+}
+
+// Detrand forbids nondeterministic randomness: the global math/rand
+// source anywhere, and any math/rand dependency at all inside the
+// replay-scoped packages (which must draw from the engine-seeded
+// sim.Rand — its xorshift128+ stream is stable across Go releases,
+// which math/rand/v2 explicitly is not).
+var Detrand = &Analyzer{
+	Name:     "detrand",
+	Contract: "no global math/rand anywhere; replay-scoped packages use the seeded sim.Rand only",
+	Doc: `detrand reports (1) calls to the global math/rand / math/rand/v2 functions
+(rand.Intn, rand.Shuffle, ...) in any analyzed package — the global source is
+seeded randomly per process, so results differ run to run — and (2) any
+math/rand import inside the deterministic simulation or encoding packages,
+where all randomness must flow from the explicitly seeded sim.Rand. Suppress a
+deliberate exception with //lint:detrand <reason>.`,
+	Run: runDetrand,
+}
+
+func runDetrand(pass *Pass) {
+	info := pass.TypesInfo()
+	banImport := inReplayScope(pass.Path())
+	pass.inspectWithStack(func(n ast.Node, _ []ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ImportSpec:
+			if !banImport {
+				return true
+			}
+			path, err := strconv.Unquote(n.Path.Value)
+			if err == nil && randPkgs[path] {
+				pass.Reportf(n.Pos(),
+					"%s imported in a replay-scoped package: draw randomness from the engine-seeded sim.Rand instead (math/rand streams are not stable across Go releases)", path)
+			}
+		case *ast.SelectorExpr:
+			pkgPath, name, ok := pkgFuncCall(info, n)
+			if !ok || !randPkgs[pkgPath] || !globalRandFuncs[name] {
+				return true
+			}
+			pass.Reportf(n.Pos(),
+				"global %s.%s uses the shared process-seeded source; seed an explicit generator (sim.NewRand in sim code, rand.New(rand.NewSource(seed)) in tools) so runs are reproducible", shortName(pkgPath), name)
+		}
+		return true
+	})
+}
+
+func shortName(pkgPath string) string {
+	if pkgPath == "math/rand/v2" {
+		return "rand/v2"
+	}
+	return "rand"
+}

@@ -1,0 +1,84 @@
+package analysis
+
+import (
+	"fmt"
+	"go/format"
+	"os"
+	"sort"
+)
+
+// ApplyFixes applies every non-overlapping fix carried by diags to the
+// files on disk, gofmt-ing the result, and returns how many fixes were
+// applied. Overlapping fixes are applied first-come (diags are
+// position-sorted), later overlappers skipped.
+func ApplyFixes(diags []Diagnostic) (int, error) {
+	type edit struct {
+		TextEdit
+		fixIndex int
+	}
+	byFile := map[string][]edit{}
+	applied := map[int]bool{}
+	for i, d := range diags {
+		if d.Fix == nil {
+			continue
+		}
+		overlaps := false
+		for _, e := range d.Fix.Edits {
+			for _, prev := range byFile[e.File] {
+				if e.Start < prev.End && prev.Start < e.End && !(e.Start == e.End && prev.Start == prev.End) {
+					overlaps = true
+				}
+			}
+		}
+		if overlaps {
+			continue
+		}
+		applied[i] = true
+		for _, e := range d.Fix.Edits {
+			byFile[e.File] = append(byFile[e.File], edit{e, i})
+		}
+	}
+	// Iterate files in sorted order so failures are deterministic.
+	files := make([]string, 0, len(byFile))
+	for f := range byFile {
+		files = append(files, f)
+	}
+	sort.Strings(files)
+	for _, file := range files {
+		src, err := os.ReadFile(file)
+		if err != nil {
+			return 0, fmt.Errorf("nestlint -fix: %v", err)
+		}
+		raw := make([]TextEdit, len(byFile[file]))
+		for i, e := range byFile[file] {
+			raw[i] = e.TextEdit
+		}
+		formatted, err := ApplyEdits(src, raw)
+		if err != nil {
+			return 0, fmt.Errorf("nestlint -fix: %s: %v", file, err)
+		}
+		if err := os.WriteFile(file, formatted, 0o644); err != nil {
+			return 0, fmt.Errorf("nestlint -fix: %v", err)
+		}
+	}
+	return len(applied), nil
+}
+
+// ApplyEdits applies the edits to src and gofmts the result.
+func ApplyEdits(src []byte, edits []TextEdit) ([]byte, error) {
+	edits = append([]TextEdit(nil), edits...)
+	// Apply bottom-up so earlier offsets stay valid. Equal-start
+	// insertions keep their relative order via stable sort.
+	sort.SliceStable(edits, func(i, j int) bool { return edits[i].Start > edits[j].Start })
+	for _, e := range edits {
+		if e.Start < 0 || e.End > len(src) || e.Start > e.End {
+			return nil, fmt.Errorf("edit [%d,%d) out of range", e.Start, e.End)
+		}
+		src = append(src[:e.Start], append([]byte(e.New), src[e.End:]...)...)
+	}
+	formatted, err := format.Source(src)
+	if err != nil {
+		return nil, fmt.Errorf("result does not parse after fixes: %v", err)
+	}
+	return formatted, nil
+}

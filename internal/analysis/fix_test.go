@@ -1,0 +1,59 @@
+package analysis_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/antest"
+)
+
+// TestSortedKeysFix drives the maporder -fix rewrite end to end in
+// memory: load the fixture, take the suggested fix, apply it, and
+// check the rewritten loop iterates sorted keys.
+func TestSortedKeysFix(t *testing.T) {
+	pkg := antest.Load(t, "maporderfix", "repro/internal/metrics/lintfixture")
+	diags := analysis.RunAnalyzers([]*analysis.Package{pkg}, []*analysis.Analyzer{analysis.Maporder})
+	if len(diags) != 1 {
+		t.Fatalf("got %d diagnostics, want 1: %+v", len(diags), diags)
+	}
+	d := diags[0]
+	if d.Fix == nil {
+		t.Fatalf("diagnostic carries no fix: %s", d.Message)
+	}
+	src, err := os.ReadFile(d.Pos.Filename)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fixed, err := analysis.ApplyEdits(src, d.Fix.Edits)
+	if err != nil {
+		t.Fatalf("applying fix: %v", err)
+	}
+	got := string(fixed)
+	for _, want := range []string{
+		`"sort"`,
+		"keys := make([]int, 0, len(loads))",
+		"keys = append(keys, c)",
+		"sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })",
+		"for _, c := range keys {",
+		"l := loads[c]",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("fixed source missing %q:\n%s", want, got)
+		}
+	}
+
+	// The rewritten fixture must itself be nestlint-clean: re-check it
+	// from a temp copy of the fixture directory.
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "a.go"), fixed, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	repkg := antest.LoadDir(t, dir, "repro/internal/metrics/lintfixture")
+	rediags := analysis.RunAnalyzers([]*analysis.Package{repkg}, []*analysis.Analyzer{analysis.Maporder})
+	for _, d := range rediags {
+		t.Errorf("fixed source still flagged: %s: %s", d.Pos, d.Message)
+	}
+}

@@ -1,0 +1,166 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strings"
+)
+
+// A Package is one loaded, type-checked compilation unit.
+type Package struct {
+	Path         string
+	Dir          string
+	Fset         *token.FileSet
+	Files        []*ast.File
+	Types        *types.Package
+	Info         *types.Info
+	Suppressions []*Suppression
+}
+
+// listedPackage is the subset of `go list -json` output the loader
+// consumes.
+type listedPackage struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	Export     string
+	Standard   bool
+	DepOnly    bool
+	GoFiles    []string
+	Error      *struct{ Err string }
+}
+
+// GoList runs `go list -export -deps -json` in dir and returns the
+// decoded packages. Export data for every dependency comes from the
+// local build cache, so loading works without network access.
+func GoList(dir string, patterns ...string) ([]listedPackage, error) {
+	args := []string{"list", "-e", "-export", "-deps",
+		"-json=ImportPath,Name,Dir,Export,Standard,DepOnly,GoFiles,Error"}
+	args = append(args, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	var pkgs []listedPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %v", err)
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("go list: package %s: %s", p.ImportPath, p.Error.Err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// ExportLookup builds the import-path → export-data lookup function the
+// gc importer needs, from go list output.
+func ExportLookup(pkgs []listedPackage) func(path string) (io.ReadCloser, error) {
+	exports := make(map[string]string, len(pkgs))
+	for _, p := range pkgs {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+	return LookupFromMap(exports)
+}
+
+// LookupFromMap adapts a path→file map into a gc-importer lookup.
+func LookupFromMap(exports map[string]string) func(path string) (io.ReadCloser, error) {
+	return func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("nestlint: no export data for %q", path)
+		}
+		return os.Open(f)
+	}
+}
+
+// Load lists patterns in dir, parses every matched (non-DepOnly)
+// package's Go files, and type-checks them against build-cache export
+// data. It returns packages in `go list` order (dependencies first),
+// which is deterministic.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	listed, err := GoList(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "gc", ExportLookup(listed))
+	var out []*Package
+	for _, lp := range listed {
+		if lp.DepOnly || lp.Standard || len(lp.GoFiles) == 0 {
+			continue
+		}
+		pkg, err := TypeCheck(fset, imp, lp.ImportPath, lp.Dir, lp.GoFiles)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+// TypeCheck parses the named files (relative to dir) and type-checks
+// them as one package with the given import path.
+func TypeCheck(fset *token.FileSet, imp types.Importer, path, dir string, goFiles []string) (*Package, error) {
+	var files []*ast.File
+	var supps []*Suppression
+	for _, gf := range goFiles {
+		name := gf
+		if !filepath.IsAbs(name) {
+			name = filepath.Join(dir, gf)
+		}
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("nestlint: parsing %s: %v", name, err)
+		}
+		files = append(files, f)
+		supps = append(supps, parseSuppressions(fset, f)...)
+	}
+	conf := types.Config{
+		Importer: imp,
+		Sizes:    types.SizesFor("gc", runtime.GOARCH),
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+		Implicits:  map[ast.Node]types.Object{},
+	}
+	tpkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("nestlint: type-checking %s: %v", path, err)
+	}
+	return &Package{
+		Path:         path,
+		Dir:          dir,
+		Fset:         fset,
+		Files:        files,
+		Types:        tpkg,
+		Info:         info,
+		Suppressions: supps,
+	}, nil
+}

@@ -1,0 +1,196 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Obsguard enforces the zero-overhead observability contract from
+// docs/OBSERVABILITY.md: hot-path code constructs obs events and calls
+// Hub.Emit only inside an Enabled() guard,
+//
+//	if h := m.Obs(); h.Enabled() {
+//		h.Emit(obs.PlacementDecision{...})
+//	}
+//
+// so a disabled hub costs zero allocations. Emit itself is nil-safe —
+// the contract is not about crashes but about the composite literal
+// (and any strings built for it) escaping to the heap on every
+// scheduling decision of every benchmark run.
+var Obsguard = &Analyzer{
+	Name:     "obsguard",
+	Contract: "obs event construction/emission on hot paths is dominated by a Hub.Enabled() check",
+	Doc: `obsguard reports obs.Event composite literals and Hub.Emit calls in the
+deterministic simulation packages (and the experiment runner) that are not
+enclosed in the body of an if whose condition checks Hub.Enabled(), or
+preceded by an early-return guard (if !h.Enabled() { return }). Unguarded
+emission allocates on the disabled path, breaking the alloc-parity the
+benchmarks rely on. Suppress cold-path emission with //lint:obsguard <reason>.`,
+	Run: runObsguard,
+}
+
+const obsPkgPath = "repro/internal/obs"
+
+func runObsguard(pass *Pass) {
+	path := pass.Path()
+	if !inDeterministicScope(path) && !hasPathPrefix(path, []string{"repro/internal/experiments"}) {
+		return
+	}
+	if path == obsPkgPath || hasPathPrefix(path, []string{obsPkgPath}) {
+		return // the obs package itself is the implementation
+	}
+	eventIface := obsEventInterface(pass)
+	pass.inspectWithStack(func(n ast.Node, stack []ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CompositeLit:
+			if eventIface == nil {
+				return true
+			}
+			t := pass.TypesInfo().TypeOf(n)
+			if t == nil || !isObsEventType(t, eventIface) {
+				return true
+			}
+			if !guardedByEnabled(pass, n, stack) {
+				pass.Reportf(n.Pos(),
+					"obs.%s constructed outside an Enabled() guard: wrap in `if h := ...; h.Enabled() { ... }` so the disabled path stays allocation-free", typeBase(t))
+			}
+			return false // don't re-report nested literals
+		case *ast.CallExpr:
+			fn := methodCallee(pass.TypesInfo(), n)
+			if !isMethodOn(fn, obsPkgPath, "Hub", "Emit") {
+				return true
+			}
+			if !guardedByEnabled(pass, n, stack) {
+				pass.Reportf(n.Pos(),
+					"Hub.Emit outside an Enabled() guard: the event argument is built even when observability is disabled")
+			}
+		}
+		return true
+	})
+}
+
+// obsEventInterface resolves the obs.Event interface from this
+// package's imports, or nil when obs is not imported.
+func obsEventInterface(pass *Pass) *types.Interface {
+	for _, imp := range pass.Pkg.Types.Imports() {
+		if imp.Path() != obsPkgPath {
+			continue
+		}
+		if o := imp.Scope().Lookup("Event"); o != nil {
+			if iface, ok := o.Type().Underlying().(*types.Interface); ok {
+				return iface
+			}
+		}
+	}
+	return nil
+}
+
+func isObsEventType(t types.Type, iface *types.Interface) bool {
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil || named.Obj().Pkg().Path() != obsPkgPath {
+		return false
+	}
+	return types.Implements(t, iface) || types.Implements(types.NewPointer(t), iface)
+}
+
+func typeBase(t types.Type) string {
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj().Name()
+	}
+	return t.String()
+}
+
+// guardedByEnabled reports whether n is dominated by a Hub.Enabled()
+// check: inside the body of an `if ...Enabled()...`, or after a
+// top-of-function `if !...Enabled()... { return }`.
+func guardedByEnabled(pass *Pass, n ast.Node, stack []ast.Node) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		ifs, ok := stack[i].(*ast.IfStmt)
+		if !ok {
+			continue
+		}
+		// Must be in the then-branch: the else branch of an Enabled()
+		// check is the disabled path.
+		if !within(n, ifs.Body) {
+			continue
+		}
+		if containsEnabledCall(pass, ifs.Cond, false) {
+			return true
+		}
+	}
+	// Early-return guard: a preceding `if !h.Enabled() { return }` in
+	// any enclosing statement list.
+	for i := len(stack) - 1; i >= 0; i-- {
+		block, ok := stack[i].(*ast.BlockStmt)
+		if !ok {
+			continue
+		}
+		for _, st := range block.List {
+			if st.End() >= n.Pos() {
+				break
+			}
+			ifs, ok := st.(*ast.IfStmt)
+			if !ok || ifs.Else != nil {
+				continue
+			}
+			if !containsEnabledCall(pass, ifs.Cond, true) {
+				continue
+			}
+			if endsInEscape(ifs.Body) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func within(n ast.Node, outer ast.Node) bool {
+	return outer.Pos() <= n.Pos() && n.End() <= outer.End()
+}
+
+// containsEnabledCall looks for a call to (*obs.Hub).Enabled inside
+// cond; negated selects the `!...` form.
+func containsEnabledCall(pass *Pass, cond ast.Expr, negated bool) bool {
+	found := false
+	ast.Inspect(cond, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := methodCallee(pass.TypesInfo(), call)
+		if !isMethodOn(fn, obsPkgPath, "Hub", "Enabled") {
+			return true
+		}
+		if negated {
+			// The call must appear under an odd number of negations;
+			// checking the immediate syntax is enough for the
+			// early-return idiom.
+			if neg, ok := ast.Unparen(cond).(*ast.UnaryExpr); ok && neg.Op.String() == "!" {
+				found = true
+			}
+		} else {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// endsInEscape reports whether the block's last statement leaves the
+// function (return or panic).
+func endsInEscape(b *ast.BlockStmt) bool {
+	if len(b.List) == 0 {
+		return false
+	}
+	switch last := b.List[len(b.List)-1].(type) {
+	case *ast.ReturnStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := last.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,114 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Postdiscipline enforces the engine's callback contract: all
+// simulation state is driven from a single goroutine, and event
+// callbacks fire later — so a callback must not be scheduled from a
+// map iteration (its firing order would inherit the random map order),
+// must not block (channels, sync primitives), and sim packages must
+// not start goroutines at all.
+var Postdiscipline = &Analyzer{
+	Name:     "postdiscipline",
+	Contract: "no goroutines in sim packages; Post/At callbacks never capture map-range variables or block",
+	Doc: `postdiscipline reports, inside the deterministic simulation packages:
+(1) go statements — the engine is single-goroutine by design; RequestStop is
+the one sanctioned cross-goroutine entry point; (2) callbacks passed to
+sim.Engine.Post/PostAfter/At/After/Reschedule that capture the key or value
+variable of an enclosing range over a map — the callback's payload (and with
+equal deadlines, its relative order) would depend on randomized map order;
+(3) callbacks that perform channel operations or take sync locks — an event
+callback that blocks deadlocks the whole virtual clock. Suppress with
+//lint:postdiscipline <reason> (alias //lint:goroutine for go statements).`,
+	Run: runPostdiscipline,
+}
+
+func runPostdiscipline(pass *Pass) {
+	if !inDeterministicScope(pass.Path()) {
+		return
+	}
+	info := pass.TypesInfo()
+	pass.inspectWithStack(func(n ast.Node, stack []ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			pass.Reportf(n.Pos(),
+				"goroutine started in a deterministic sim package: all simulation state is single-goroutine; move concurrency to the experiment pool or document with //lint:goroutine <reason>")
+		case *ast.CallExpr:
+			fn := methodCallee(info, n)
+			if fn == nil || !isEnginePostFamily(fn) {
+				return true
+			}
+			for _, arg := range n.Args {
+				lit, ok := ast.Unparen(arg).(*ast.FuncLit)
+				if !ok {
+					continue
+				}
+				checkCallback(pass, fn.Name(), lit, stack)
+			}
+		}
+		return true
+	})
+}
+
+// checkCallback inspects one closure scheduled on the engine.
+func checkCallback(pass *Pass, method string, lit *ast.FuncLit, stack []ast.Node) {
+	info := pass.TypesInfo()
+
+	// Collect key/value objects of enclosing ranges over maps.
+	mapLoopVars := map[types.Object]*ast.RangeStmt{}
+	for _, anc := range stack {
+		rng, ok := anc.(*ast.RangeStmt)
+		if !ok {
+			continue
+		}
+		t := info.TypeOf(rng.X)
+		if t == nil {
+			continue
+		}
+		if _, isMap := t.Underlying().(*types.Map); !isMap {
+			continue
+		}
+		for _, e := range []ast.Expr{rng.Key, rng.Value} {
+			if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+				if obj := info.Defs[id]; obj != nil {
+					mapLoopVars[obj] = rng
+				}
+			}
+		}
+	}
+
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.Ident:
+			if obj := info.Uses[n]; obj != nil {
+				if _, fromMapRange := mapLoopVars[obj]; fromMapRange {
+					pass.Reportf(n.Pos(),
+						"callback passed to Engine.%s captures %q from an enclosing range over a map: the scheduled work depends on randomized iteration order", method, n.Name)
+					delete(mapLoopVars, obj) // one report per variable
+				}
+			}
+		case *ast.SendStmt:
+			pass.Reportf(n.Pos(), "event callback sends on a channel: callbacks run on the sim goroutine and must never block")
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				pass.Reportf(n.Pos(), "event callback receives from a channel: callbacks run on the sim goroutine and must never block")
+			}
+		case *ast.SelectStmt:
+			pass.Reportf(n.Pos(), "event callback uses select: callbacks run on the sim goroutine and must never block")
+		case *ast.CallExpr:
+			fn := methodCallee(info, n)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+				return true
+			}
+			if named, _ := namedReceiver(fn); named != nil {
+				pass.Reportf(n.Pos(),
+					"event callback calls sync.%s.%s: sim state is single-goroutine by contract; locking inside a callback hides a cross-goroutine access", named.Obj().Name(), fn.Name())
+			}
+		}
+		return true
+	})
+}

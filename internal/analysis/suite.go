@@ -1,0 +1,17 @@
+package analysis
+
+// Suite returns the full nestlint analyzer suite in reporting order.
+func Suite() []*Analyzer {
+	return []*Analyzer{
+		Simtime,
+		Detrand,
+		Maporder,
+		Obsguard,
+		Postdiscipline,
+	}
+}
+
+// Version identifies the suite's contract set; bump when an analyzer
+// is added or a contract materially changes, and record the change in
+// CHANGES.md and docs/ANALYSIS.md.
+const Version = "1.0.0"

@@ -1,0 +1,28 @@
+// Fixture for the detrand analyzer inside a replay-scoped package:
+// the math/rand import itself is banned there.
+package fixture
+
+import (
+	"math/rand" // want `math/rand imported in a replay-scoped package`
+
+	"repro/internal/sim"
+)
+
+func badGlobal() int {
+	return rand.Intn(6) // want `global rand\.Intn`
+}
+
+func badShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `global rand\.Shuffle`
+}
+
+// The engine-owned generator is the sanctioned source: clean.
+func cleanSimRand(seed uint64) int {
+	r := sim.NewRand(seed)
+	return r.Intn(6)
+}
+
+func suppressed() int {
+	//lint:rand fixture: documented deviation
+	return rand.Intn(6)
+}

@@ -1,0 +1,22 @@
+// Fixture for the detrand analyzer outside the replay scope (a tool
+// package): seeded generators are fine, the global source is not.
+package fixture
+
+import (
+	"math/rand" // clean: import allowed outside the replay scope
+	randv2 "math/rand/v2"
+)
+
+func badGlobal() int {
+	return rand.Intn(6) // want `global rand\.Intn`
+}
+
+func badGlobalV2() int {
+	return randv2.IntN(6) // want `global rand/v2\.IntN`
+}
+
+// An explicitly seeded generator is reproducible: clean.
+func cleanSeeded(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(6)
+}

@@ -1,0 +1,130 @@
+// Fixture for the maporder analyzer: order-dependent and provably
+// order-independent map iterations.
+package fixture
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+func badWrite(w io.Writer, m map[string]int) {
+	for k, v := range m { // want `map iteration order`
+		fmt.Fprintf(w, "%s=%d\n", k, v)
+	}
+}
+
+func badFloatSum(m map[int]float64) float64 {
+	var sum float64
+	for _, v := range m { // want `\+= on a non-integer type`
+		sum += v
+	}
+	return sum
+}
+
+func badAppend(m map[int]int) []int {
+	var out []int
+	for _, v := range m { // want `appends loop-dependent values`
+		out = append(out, v)
+	}
+	return out
+}
+
+func badEarlyReturn(m map[int]int) int {
+	for k := range m { // want `depends on which key is visited first`
+		return k
+	}
+	return -1
+}
+
+func badLastWriter(m map[int]string) string {
+	var last string
+	for _, v := range m { // want `surviving value depends on iteration order`
+		last = v
+	}
+	return last
+}
+
+func badUnknownCall(m map[int]int, f func(int)) {
+	for k := range m { // want `unknown effects`
+		f(k)
+	}
+}
+
+// Integer accumulation commutes exactly: clean.
+func goodIntSum(m map[int]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+		n++
+	}
+	return n
+}
+
+// The collect-then-sort idiom: clean.
+func goodCollectSort(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Keyed writes touch one slot per key: clean.
+func goodKeyedWrite(m map[int]int) map[int]int {
+	out := make(map[int]int, len(m))
+	for k, v := range m {
+		out[k] = v * 2
+	}
+	return out
+}
+
+// Idempotent flag set: clean.
+func goodFlag(m map[int]int) bool {
+	found := false
+	for _, v := range m {
+		if v > 10 {
+			found = true
+		}
+	}
+	return found
+}
+
+// Exact max fold: clean.
+func goodMaxFold(m map[int]int) int {
+	best := 0
+	for _, v := range m {
+		if v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+// Per-iteration locals: clean.
+func goodLocals(m map[int]int) int {
+	n := 0
+	for _, v := range m {
+		scratch := make([]int, 0, 4)
+		scratch = append(scratch, v)
+		n += len(scratch)
+	}
+	return n
+}
+
+// Deleting by loop key during iteration is keyed and sanctioned: clean.
+func goodClear(m map[int]int) {
+	for k := range m {
+		delete(m, k)
+	}
+}
+
+func suppressed(m map[int]int) []int {
+	var out []int
+	//lint:maporder fixture: caller treats the result as a set
+	for _, v := range m {
+		out = append(out, v)
+	}
+	return out
+}

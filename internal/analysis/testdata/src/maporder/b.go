@@ -1,0 +1,18 @@
+package fixture
+
+import (
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
+
+func badPost(eng *sim.Engine, wakes map[int]sim.Time) {
+	for _, t := range wakes { // want `posts simulator events \(sim\.Engine\.Post\)`
+		eng.Post(t, func() {})
+	}
+}
+
+func badEmit(h *obs.Hub, cores map[int]bool) {
+	for c := range cores { // want `emits observability events`
+		h.Emit(obs.NestExpand{Core: c})
+	}
+}

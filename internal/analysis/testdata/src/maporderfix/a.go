@@ -1,0 +1,14 @@
+// Fixture for the maporder -fix rewrite: a flagged loop whose key type
+// is orderable gets the sorted-keys transformation.
+package fixture
+
+import (
+	"fmt"
+	"io"
+)
+
+func render(w io.Writer, loads map[int]float64) {
+	for c, l := range loads {
+		fmt.Fprintf(w, "%d %f\n", c, l)
+	}
+}

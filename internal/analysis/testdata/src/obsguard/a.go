@@ -1,0 +1,60 @@
+// Fixture for the obsguard analyzer: obs event construction/emission
+// must be dominated by a Hub.Enabled() check.
+package fixture
+
+import (
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
+
+type machine struct{ h *obs.Hub }
+
+func (m *machine) Obs() *obs.Hub { return m.h }
+
+// The canonical guarded idiom from docs/OBSERVABILITY.md: clean.
+func good(m *machine, now sim.Time) {
+	if h := m.Obs(); h.Enabled() {
+		h.Emit(obs.Migration{T: now, Task: 1, From: 0, To: 1})
+	}
+}
+
+// Guard combined with other conditions: clean.
+func goodCompound(m *machine, now sim.Time, ready bool) {
+	if h := m.Obs(); h.Enabled() && ready {
+		h.Emit(obs.Migration{T: now})
+	}
+}
+
+// Early-return guard: clean.
+func goodEarlyReturn(m *machine, now sim.Time) {
+	h := m.Obs()
+	if !h.Enabled() {
+		return
+	}
+	h.Emit(obs.Migration{T: now})
+}
+
+func bad(m *machine, now sim.Time) {
+	m.h.Emit(obs.Migration{T: now}) // want `Hub\.Emit outside an Enabled\(\) guard` `obs\.Migration constructed outside`
+}
+
+// The else branch of an Enabled() check is the disabled path.
+func badElseBranch(m *machine, now sim.Time) {
+	if h := m.Obs(); h.Enabled() {
+		_ = h
+	} else {
+		m.h.Emit(obs.Migration{T: now}) // want `Hub\.Emit outside` `obs\.Migration constructed outside`
+	}
+}
+
+// An unrelated if does not count as a guard.
+func badWrongGuard(m *machine, now sim.Time, ready bool) {
+	if ready {
+		m.h.Emit(obs.NestExpand{T: now}) // want `Hub\.Emit outside` `obs\.NestExpand constructed outside`
+	}
+}
+
+func suppressed(m *machine) {
+	//lint:obsguard fixture: cold path, runs once per run
+	m.h.Emit(obs.RunInfo{Machine: "m"})
+}

@@ -1,0 +1,40 @@
+// Fixture for the simtime analyzer: wall-clock reads in a
+// replay-scoped package.
+package fixture
+
+import "time"
+
+func bad() int64 {
+	return time.Now().UnixNano() // want `time\.Now is forbidden`
+}
+
+func badSince(t0 time.Time) time.Duration {
+	return time.Since(t0) // want `time\.Since is forbidden`
+}
+
+func badSleep() {
+	time.Sleep(time.Millisecond) // want `time\.Sleep is forbidden`
+}
+
+func badTimer(fn func()) *time.Timer {
+	return time.AfterFunc(time.Second, fn) // want `time\.AfterFunc is forbidden`
+}
+
+// Durations and constants are configuration, not clock reads: clean.
+func cleanDuration() time.Duration {
+	return 3 * time.Millisecond
+}
+
+func suppressed() int64 {
+	//lint:wallclock fixture: documented host-side deviation
+	return time.Now().UnixNano()
+}
+
+func suppressedTrailing() int64 {
+	return time.Now().UnixNano() //lint:wallclock fixture: trailing-comment form
+}
+
+func unjustified() int64 {
+	//lint:wallclock
+	return time.Now().UnixNano() // want `needs a justification`
+}

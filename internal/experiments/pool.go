@@ -204,6 +204,7 @@ func runCell(rs RunSpec, timeout time.Duration) (res *metrics.Result, err error)
 
 	var mp atomic.Pointer[cpu.Machine]
 	var expired atomic.Bool
+	//lint:wallclock the cell watchdog times out wedged host-side runs; it never feeds sim state or results
 	timer := time.AfterFunc(timeout, func() {
 		// Store expired before loading the machine; onStart does the
 		// mirror-image store/load. With both orders sequentially
@@ -323,6 +324,7 @@ func RunGrid(specs []RunSpec, opts PoolOptions) ([]*metrics.Result, error) {
 				return
 			}
 			i := todo[k]
+			//lint:wallclock wall duration of a failed cell goes to the CellError diagnostic, not to results
 			start := time.Now()
 			res, err := runCell(specs[i], opts.CellTimeout)
 			if err == nil && opts.Journal != nil && keys[i] != "" {
@@ -339,6 +341,7 @@ func RunGrid(specs []RunSpec, opts PoolOptions) ([]*metrics.Result, error) {
 			if err != nil {
 				errs[i] = &CellError{
 					Index: i, Spec: specs[i], Worker: worker,
+					//lint:wallclock error diagnostics carry wall duration; never part of encoded results
 					Duration: time.Since(start), Err: err,
 				}
 				opts.Stats.fail(err)
