@@ -1,0 +1,430 @@
+// Command nestobs analyses JSONL event streams written by nestsim
+// -events / -series and experiments -events (see docs/OBSERVABILITY.md)
+// without re-running anything: an offline report with a core-warmth
+// heatmap, sampled frequency/queue/socket time series, the placement-
+// path and scan-cost breakdowns of -explain, counters recomputed from
+// the events — and a diff mode that compares two runs (typically nest
+// vs cfs at the same seed) counter by counter and percentile by
+// percentile.
+//
+// Usage:
+//
+//	nestobs report events.jsonl
+//	nestobs diff nest.jsonl cfs.jsonl
+//
+// Everything is derived from the stream, so a report is reproducible
+// from the .jsonl artifact alone: same file, same bytes out.
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"text/tabwriter"
+
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
+
+func main() {
+	args := os.Args[1:]
+	fail := func(msg string) {
+		fmt.Fprintln(os.Stderr, "nestobs:", msg)
+		fmt.Fprintln(os.Stderr, "usage: nestobs report <events.jsonl>")
+		fmt.Fprintln(os.Stderr, "       nestobs diff <a.jsonl> <b.jsonl>")
+		os.Exit(2)
+	}
+	switch {
+	case len(args) == 2 && args[0] == "report":
+		a, err := loadFile(args[1])
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "nestobs:", err)
+			os.Exit(1)
+		}
+		writeReport(os.Stdout, a)
+	case len(args) == 3 && args[0] == "diff":
+		a, err := loadFile(args[1])
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "nestobs:", err)
+			os.Exit(1)
+		}
+		b, err := loadFile(args[2])
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "nestobs:", err)
+			os.Exit(1)
+		}
+		writeDiff(os.Stdout, args[1], args[2], a, b)
+	default:
+		fail("expected a subcommand: report or diff")
+	}
+}
+
+// analysis is everything nestobs derives from one decoded stream.
+type analysis struct {
+	infos    []obs.RunInfo
+	sums     []obs.RunSummary
+	events   int
+	counters map[string]int64
+	explain  *obs.Explain
+	coreG    []obs.CoreGauge
+	sockG    []obs.SocketGauge
+	end      sim.Time // last gauge timestamp (heatmap/series extent)
+	instants int      // distinct gauge sample times
+}
+
+// cols picks the heatmap width: one column per sample instant up to the
+// cap, so a short run never shows aliasing gaps between samples.
+func (a *analysis) cols() int {
+	if a.instants < 1 {
+		return 1
+	}
+	if a.instants > heatCols {
+		return heatCols
+	}
+	return a.instants
+}
+
+// loadFile decodes one JSONL stream and aggregates it.
+func loadFile(path string) (*analysis, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var evs []obs.Event
+	if _, err := obs.DecodeStream(f, func(ev obs.Event) { evs = append(evs, ev) }); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return analyze(evs), nil
+}
+
+// analyze replays decoded events through a fresh hub (recomputing the
+// counter registry exactly as the live run did) and an Explain
+// aggregator, and collects the gauge samples for the time-series views.
+func analyze(evs []obs.Event) *analysis {
+	a := &analysis{explain: obs.NewExplain()}
+	h := obs.New(a.explain)
+	lastT := sim.Time(-1)
+	for _, ev := range evs {
+		h.Emit(ev)
+		switch e := ev.(type) {
+		case obs.RunInfo:
+			a.infos = append(a.infos, e)
+		case obs.RunSummary:
+			a.sums = append(a.sums, e)
+		case obs.CoreGauge:
+			a.coreG = append(a.coreG, e)
+			if e.T > a.end {
+				a.end = e.T
+			}
+			if e.T != lastT {
+				lastT = e.T
+				a.instants++
+			}
+		case obs.SocketGauge:
+			a.sockG = append(a.sockG, e)
+			if e.T > a.end {
+				a.end = e.T
+			}
+		}
+	}
+	a.events = len(evs)
+	a.counters = h.Snapshot()
+	return a
+}
+
+// label names the stream for headers: the first RunInfo when present,
+// the file name otherwise.
+func (a *analysis) label(path string) string {
+	if len(a.infos) > 0 {
+		in := a.infos[0]
+		return fmt.Sprintf("%s on %s, %s-%s seed=%d", in.Workload, in.Machine, in.Scheduler, in.Governor, in.Seed)
+	}
+	return path
+}
+
+// ---- report ----------------------------------------------------------
+
+const heatCols = 64
+
+// heatLevels grade a 0..1 share from cold to warm.
+var heatLevels = []byte(" .:-=+*#%@")
+
+func writeReport(w io.Writer, a *analysis) {
+	for _, in := range a.infos {
+		fmt.Fprintf(w, "run: %s on %s, %s-%s (scale %g, seed %d)\n",
+			in.Workload, in.Machine, in.Scheduler, in.Governor, in.Scale, in.Seed)
+	}
+	if len(a.infos) == 0 {
+		fmt.Fprintln(w, "run: (no run header in stream)")
+	}
+	fmt.Fprintf(w, "events: %d\n\n", a.events)
+
+	writeHeatmap(w, a)
+	writeSeries(w, a)
+	a.explain.WriteTo(w)
+	fmt.Fprintln(w)
+	writeCounters(w, a.counters)
+	for _, s := range a.sums {
+		fmt.Fprintf(w, "summary: runtime %v  energy %.1fJ  wake p50/p95/p99/p99.9 %s/%s/%s/%s  (%d wakeups)\n",
+			sim.Time(s.RuntimeNS), s.EnergyJ,
+			usNS(s.WakeP50), usNS(s.WakeP95), usNS(s.WakeP99), usNS(s.WakeP999), s.Wakeups)
+	}
+}
+
+// binOf maps a timestamp to its column of cols.
+func binOf(t, end sim.Time, cols int) int {
+	col := int(int64(t) * int64(cols) / int64(end+1))
+	if col >= cols {
+		col = cols - 1
+	}
+	return col
+}
+
+// writeHeatmap renders the core-warmth grid: one row per sampled core
+// (highest on top, like the paper's trace figures), one column per time
+// bin, glyph graded by the share of samples in the bin that found the
+// core warm (busy or spinning). Offline samples mark the bin 'x'.
+func writeHeatmap(w io.Writer, a *analysis) {
+	if len(a.coreG) == 0 {
+		fmt.Fprintf(w, "core warmth: no gauge samples in stream (run nestsim with -sample-every or -series)\n\n")
+		return
+	}
+	cols := a.cols()
+	type cell struct{ warm, total, off int }
+	grid := make(map[int][]cell)
+	var cores []int
+	for _, g := range a.coreG {
+		row, ok := grid[g.Core]
+		if !ok {
+			row = make([]cell, cols)
+			grid[g.Core] = row
+			cores = append(cores, g.Core)
+		}
+		c := &row[binOf(g.T, a.end, cols)]
+		c.total++
+		switch g.State {
+		case "busy", "spin":
+			c.warm++
+		case "offline":
+			c.off++
+		}
+	}
+	sort.Ints(cores)
+	fmt.Fprintf(w, "core warmth (busy+spin share per bin; %d samples):\n", len(a.coreG))
+	for i := len(cores) - 1; i >= 0; i-- {
+		row := grid[cores[i]]
+		line := make([]byte, cols)
+		for j := range row {
+			c := row[j]
+			switch {
+			case c.total == 0:
+				line[j] = ' '
+			case c.off > 0:
+				line[j] = 'x'
+			default:
+				line[j] = heatLevels[c.warm*(len(heatLevels)-1)/c.total]
+			}
+		}
+		fmt.Fprintf(w, "  core %3d |%s|\n", cores[i], line)
+	}
+	fmt.Fprintf(w, "            0s → %v\n", a.end)
+	fmt.Fprintf(w, "  glyphs: ' '=cold  .:-=+*#%%=warming  @=always warm  x=offline\n\n")
+}
+
+// writeSeries renders the sampled time series: mean busy-core frequency,
+// total run-queue depth, and per-socket busy share.
+func writeSeries(w io.Writer, a *analysis) {
+	if len(a.coreG) == 0 {
+		return
+	}
+	cols := a.cols()
+	freqSum, queueSum := make([]float64, cols), make([]float64, cols)
+	freqN, instN := make([]int, cols), make([]int, cols)
+	lastT := sim.Time(-1)
+	for _, g := range a.coreG {
+		col := binOf(g.T, a.end, cols)
+		if g.T != lastT {
+			lastT = g.T
+			instN[col]++
+		}
+		queueSum[col] += float64(g.Queue)
+		if g.State == "busy" {
+			freqSum[col] += float64(g.FreqMHz)
+			freqN[col]++
+		}
+	}
+	freq := make([]float64, cols)
+	queue := make([]float64, cols)
+	for i := 0; i < cols; i++ {
+		freq[i], queue[i] = -1, -1
+		if freqN[i] > 0 {
+			freq[i] = freqSum[i] / float64(freqN[i])
+		}
+		if instN[i] > 0 {
+			queue[i] = queueSum[i] / float64(instN[i])
+		}
+	}
+	line, peak := spark(freq)
+	fmt.Fprintf(w, "busy-core frequency (mean MHz per bin, peak %.0f):\n  |%s|\n", peak, line)
+	line, peak = spark(queue)
+	fmt.Fprintf(w, "run-queue depth (runnable tasks waiting, mean per bin, peak %.1f):\n  |%s|\n", peak, line)
+
+	if len(a.sockG) > 0 {
+		type agg struct {
+			sum []float64
+			n   []int
+		}
+		socks := make(map[int]*agg)
+		var ids []int
+		for _, g := range a.sockG {
+			s, ok := socks[g.Socket]
+			if !ok {
+				s = &agg{sum: make([]float64, cols), n: make([]int, cols)}
+				socks[g.Socket] = s
+				ids = append(ids, g.Socket)
+			}
+			col := binOf(g.T, a.end, cols)
+			if g.Online > 0 {
+				s.sum[col] += float64(g.Busy) / float64(g.Online)
+				s.n[col]++
+			}
+		}
+		sort.Ints(ids)
+		fmt.Fprintln(w, "socket busy share (busy/online cores, mean per bin):")
+		for _, id := range ids {
+			s := socks[id]
+			vals := make([]float64, cols)
+			for i := 0; i < cols; i++ {
+				vals[i] = -1
+				if s.n[i] > 0 {
+					vals[i] = s.sum[i] / float64(s.n[i])
+				}
+			}
+			line, peak = spark(vals)
+			fmt.Fprintf(w, "  socket %d |%s| peak %.0f%%\n", id, line, 100*peak)
+		}
+	}
+	fmt.Fprintln(w)
+}
+
+// spark renders vals (-1 = no data) as one glyph row scaled to its peak.
+func spark(vals []float64) (string, float64) {
+	peak := 0.0
+	for _, v := range vals {
+		if v > peak {
+			peak = v
+		}
+	}
+	out := make([]byte, len(vals))
+	for i, v := range vals {
+		switch {
+		case v < 0:
+			out[i] = ' '
+		case peak == 0:
+			out[i] = heatLevels[0]
+		default:
+			out[i] = heatLevels[int(v/peak*float64(len(heatLevels)-1))]
+		}
+	}
+	return string(out), peak
+}
+
+// writeCounters dumps a recomputed counter registry sorted by name.
+func writeCounters(w io.Writer, counters map[string]int64) {
+	if len(counters) == 0 {
+		return
+	}
+	names := make([]string, 0, len(counters))
+	for n := range counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	fmt.Fprintln(w, "counters (recomputed from the event stream):")
+	for _, n := range names {
+		fmt.Fprintf(w, "  %-28s %d\n", n, counters[n])
+	}
+	fmt.Fprintln(w)
+}
+
+// usNS renders a nanosecond count in microseconds.
+func usNS(ns int64) string {
+	return fmt.Sprintf("%.1fµs", float64(ns)/1e3)
+}
+
+// ---- diff ------------------------------------------------------------
+
+// writeDiff compares two streams: headline metrics and wake percentiles
+// from their RunSummary events, then every counter both or either run
+// bumped. Positive deltas mean B saw more than A.
+func writeDiff(w io.Writer, pathA, pathB string, a, b *analysis) {
+	fmt.Fprintf(w, "diff: A = %s\n", a.label(pathA))
+	fmt.Fprintf(w, "      B = %s\n\n", b.label(pathB))
+
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	if len(a.sums) > 0 && len(b.sums) > 0 {
+		as, bs := a.sums[0], b.sums[0]
+		fmt.Fprintln(tw, "metric\tA\tB\tdelta")
+		row := func(name, av, bv string, rel float64, ok bool) {
+			d := "n/a"
+			if ok {
+				d = fmt.Sprintf("%+.1f%%", 100*rel)
+			}
+			fmt.Fprintf(tw, "%s\t%s\t%s\t%s\n", name, av, bv, d)
+		}
+		relOf := func(av, bv float64) (float64, bool) {
+			if av == 0 {
+				return 0, false
+			}
+			return (bv - av) / av, true
+		}
+		rel, ok := relOf(float64(as.RuntimeNS), float64(bs.RuntimeNS))
+		row("runtime", sim.Time(as.RuntimeNS).String(), sim.Time(bs.RuntimeNS).String(), rel, ok)
+		rel, ok = relOf(as.EnergyJ, bs.EnergyJ)
+		row("energy", fmt.Sprintf("%.1fJ", as.EnergyJ), fmt.Sprintf("%.1fJ", bs.EnergyJ), rel, ok)
+		wakes := []struct {
+			name   string
+			av, bv int64
+		}{
+			{"wake p50", as.WakeP50, bs.WakeP50},
+			{"wake p95", as.WakeP95, bs.WakeP95},
+			{"wake p99", as.WakeP99, bs.WakeP99},
+			{"wake p99.9", as.WakeP999, bs.WakeP999},
+		}
+		for _, p := range wakes {
+			rel, ok = relOf(float64(p.av), float64(p.bv))
+			row(p.name, usNS(p.av), usNS(p.bv), rel, ok)
+		}
+		rel, ok = relOf(float64(as.Wakeups), float64(bs.Wakeups))
+		row("wakeups", fmt.Sprintf("%d", as.Wakeups), fmt.Sprintf("%d", bs.Wakeups), rel, ok)
+		tw.Flush()
+		fmt.Fprintln(w)
+	} else {
+		fmt.Fprintln(w, "summary deltas: n/a (a stream is missing its run_summary event)")
+		fmt.Fprintln(w)
+	}
+
+	names := make([]string, 0, len(a.counters)+len(b.counters))
+	seen := make(map[string]bool, len(a.counters)+len(b.counters))
+	for n := range a.counters {
+		names = append(names, n)
+		seen[n] = true
+	}
+	for n := range b.counters {
+		if !seen[n] {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		fmt.Fprintln(w, "counter deltas: n/a (no events)")
+		return
+	}
+	fmt.Fprintln(tw, "counter\tA\tB\tdelta")
+	for _, n := range names {
+		av, bv := a.counters[n], b.counters[n]
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%+d\n", n, av, bv, bv-av)
+	}
+	tw.Flush()
+}

@@ -1,0 +1,233 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
+
+// fixtureNest is a miniature nest-run event stream touching every
+// report section: run header, placements (layered), nest dynamics,
+// two gauge batches on a 4-core single-socket box, and a summary.
+func fixtureNest() []obs.Event {
+	ms := sim.Millisecond
+	return []obs.Event{
+		obs.RunInfo{Machine: "test4", Scheduler: "nest", Governor: "schedutil", Workload: "demo", Scale: 1, Seed: 7},
+		obs.PlacementDecision{T: 1 * ms, Sched: "nest", Task: 1, Core: 0, Path: "primary", Scanned: 1},
+		obs.PlacementDecision{T: 2 * ms, Sched: "cfs", Task: 2, Core: 1, Path: "target_fallback", Scanned: 70},
+		obs.PlacementDecision{T: 2 * ms, Sched: "nest", Task: 2, Core: 1, Path: "fallback", Scanned: 70},
+		obs.NestExpand{T: 2 * ms, Core: 1, Primary: 2, Reserve: 0, Reason: "promotion"},
+		obs.Migration{T: 3 * ms, Task: 2, From: 1, To: 0, Reason: "schedule_in"},
+		obs.TickBalance{T: 4 * ms, From: 0, To: 2, Task: 1, Kind2: "newidle"},
+		obs.CoreGauge{T: 4 * ms, Core: 0, State: "busy", FreqMHz: 2600, Queue: 1},
+		obs.CoreGauge{T: 4 * ms, Core: 1, State: "spin", FreqMHz: 2600, Queue: 0},
+		obs.CoreGauge{T: 4 * ms, Core: 2, State: "idle", FreqMHz: 1200, Queue: 0},
+		obs.CoreGauge{T: 4 * ms, Core: 3, State: "offline", FreqMHz: 0, Queue: 0},
+		obs.NestGauge{T: 4 * ms, Primary: 2, Reserve: 0},
+		obs.SocketGauge{T: 4 * ms, Socket: 0, Busy: 1, Online: 3},
+		obs.CoreGauge{T: 8 * ms, Core: 0, State: "busy", FreqMHz: 2800, Queue: 0},
+		obs.CoreGauge{T: 8 * ms, Core: 1, State: "busy", FreqMHz: 2800, Queue: 2},
+		obs.CoreGauge{T: 8 * ms, Core: 2, State: "idle", FreqMHz: 1200, Queue: 0},
+		obs.CoreGauge{T: 8 * ms, Core: 3, State: "offline", FreqMHz: 0, Queue: 0},
+		obs.NestGauge{T: 8 * ms, Primary: 2, Reserve: 1},
+		obs.SocketGauge{T: 8 * ms, Socket: 0, Busy: 2, Online: 3},
+		obs.RunSummary{Machine: "test4", Scheduler: "nest", Governor: "schedutil", Workload: "demo", Seed: 7,
+			RuntimeNS: 10e6, EnergyJ: 1.5, WakeP50: 10_000, WakeP95: 20_000, WakeP99: 30_000, WakeP999: 40_000, Wakeups: 100},
+	}
+}
+
+// fixtureCFS is the same shape under cfs at the same seed.
+func fixtureCFS() []obs.Event {
+	ms := sim.Millisecond
+	return []obs.Event{
+		obs.RunInfo{Machine: "test4", Scheduler: "cfs", Governor: "schedutil", Workload: "demo", Scale: 1, Seed: 7},
+		obs.PlacementDecision{T: 1 * ms, Sched: "cfs", Task: 1, Core: 0, Path: "prev", Scanned: 1},
+		obs.PlacementDecision{T: 2 * ms, Sched: "cfs", Task: 2, Core: 2, Path: "idlest_group", Scanned: 12},
+		obs.Migration{T: 3 * ms, Task: 2, From: 2, To: 3, Reason: "schedule_in"},
+		obs.CoreGauge{T: 4 * ms, Core: 0, State: "busy", FreqMHz: 2400, Queue: 0},
+		obs.CoreGauge{T: 4 * ms, Core: 1, State: "idle", FreqMHz: 1200, Queue: 0},
+		obs.CoreGauge{T: 4 * ms, Core: 2, State: "busy", FreqMHz: 2400, Queue: 1},
+		obs.CoreGauge{T: 4 * ms, Core: 3, State: "idle", FreqMHz: 1200, Queue: 0},
+		obs.SocketGauge{T: 4 * ms, Socket: 0, Busy: 2, Online: 4},
+		obs.RunSummary{Machine: "test4", Scheduler: "cfs", Governor: "schedutil", Workload: "demo", Seed: 7,
+			RuntimeNS: 12e6, EnergyJ: 1.8, WakeP50: 12_000, WakeP95: 26_000, WakeP99: 27_000, WakeP999: 50_000, Wakeups: 110},
+	}
+}
+
+// roundTrip encodes events to JSONL and decodes them back, so the test
+// covers the same path loadFile takes on a real -events file.
+func roundTrip(t *testing.T, evs []obs.Event) []obs.Event {
+	t.Helper()
+	var buf bytes.Buffer
+	rec := obs.NewJSONL(&buf)
+	for _, ev := range evs {
+		rec.Record(ev)
+	}
+	if err := rec.Flush(); err != nil {
+		t.Fatalf("flush: %v", err)
+	}
+	var out []obs.Event
+	if _, err := obs.DecodeStream(&buf, func(ev obs.Event) { out = append(out, ev) }); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	return out
+}
+
+const goldenReport = `run: demo on test4, nest-schedutil (scale 1, seed 7)
+events: 20
+
+core warmth (busy+spin share per bin; 8 samples):
+  core   3 |xx|
+  core   2 |  |
+  core   1 |@@|
+  core   0 |@@|
+            0s → 0.008000s
+  glyphs: ' '=cold  .:-=+*#%=warming  @=always warm  x=offline
+
+busy-core frequency (mean MHz per bin, peak 2800):
+  |%@|
+run-queue depth (runnable tasks waiting, mean per bin, peak 2.0):
+  |=@|
+socket busy share (busy/online cores, mean per bin):
+  socket 0 |=@| peak 67%
+
+placement paths (3 decisions; layered policies report each layer):
+  cfs.target_fallback            1   33.3%  ########################
+  nest.fallback                  1   33.3%  ########################
+  nest.primary                   1   33.3%  ########################
+scan cost (cores examined per placement decision):
+  1            1  ################
+  64+          2  ################################
+nest size over time (1 expand, 0 compact, 0 impatience trips):
+  primary  max 2   |              @@@@@@@@@@@@@@@@@@@@@@@@@@@@@@@@@@@@@@@@@@@@@@| 0.008000s
+  reserve  max 1   |                                                           @| 0.008000s
+runtime: 1 migrations, 1 balance pulls
+
+counters (recomputed from the event stream):
+  cfs.target_fallback          1
+  cpu.balance.newidle          1
+  cpu.migration                1
+  gauge.core                   8
+  gauge.nest                   2
+  gauge.socket                 2
+  nest.expand                  1
+  nest.fallback                1
+  nest.primary                 1
+  runs                         1
+  summaries                    1
+
+summary: runtime 0.010000s  energy 1.5J  wake p50/p95/p99/p99.9 10.0µs/20.0µs/30.0µs/40.0µs  (100 wakeups)
+`
+
+const goldenDiff = `diff: A = demo on test4, nest-schedutil seed=7
+      B = demo on test4, cfs-schedutil seed=7
+
+metric      A          B          delta
+runtime     0.010000s  0.012000s  +20.0%
+energy      1.5J       1.8J       +20.0%
+wake p50    10.0µs     12.0µs     +20.0%
+wake p95    20.0µs     26.0µs     +30.0%
+wake p99    30.0µs     27.0µs     -10.0%
+wake p99.9  40.0µs     50.0µs     +25.0%
+wakeups     100        110        +10.0%
+
+counter              A  B  delta
+cfs.idlest_group     0  1  +1
+cfs.prev             0  1  +1
+cfs.target_fallback  1  0  -1
+cpu.balance.newidle  1  0  -1
+cpu.migration        1  1  +0
+gauge.core           8  4  -4
+gauge.nest           2  0  -2
+gauge.socket         2  1  -1
+nest.expand          1  0  -1
+nest.fallback        1  0  -1
+nest.primary         1  0  -1
+runs                 1  1  +0
+summaries            1  1  +0
+`
+
+// TestReportGolden pins the full report for the nest fixture: the
+// report is a pure function of the stream, so any byte change here is a
+// deliberate format change.
+func TestReportGolden(t *testing.T) {
+	a := analyze(roundTrip(t, fixtureNest()))
+	var buf bytes.Buffer
+	writeReport(&buf, a)
+	if got := buf.String(); got != goldenReport {
+		t.Errorf("report drifted from golden.\ngot:\n%s\nwant:\n%s\ndiff hint: got %q", got, goldenReport, got)
+	}
+}
+
+// TestDiffGolden pins the diff of the nest and cfs fixtures.
+func TestDiffGolden(t *testing.T) {
+	a := analyze(roundTrip(t, fixtureNest()))
+	b := analyze(roundTrip(t, fixtureCFS()))
+	var buf bytes.Buffer
+	writeDiff(&buf, "a.jsonl", "b.jsonl", a, b)
+	if got := buf.String(); got != goldenDiff {
+		t.Errorf("diff drifted from golden.\ngot:\n%s\nwant:\n%s\ndiff hint: got %q", got, goldenDiff, got)
+	}
+}
+
+// TestReportDeterministic re-runs the same analysis twice and compares
+// bytes, guarding the map-iteration hazards (counters, grid rows).
+func TestReportDeterministic(t *testing.T) {
+	evs := roundTrip(t, fixtureNest())
+	var first string
+	for i := 0; i < 5; i++ {
+		var buf bytes.Buffer
+		writeReport(&buf, analyze(evs))
+		if i == 0 {
+			first = buf.String()
+			continue
+		}
+		if buf.String() != first {
+			t.Fatalf("iteration %d produced different report bytes", i)
+		}
+	}
+}
+
+// TestReportEmptyStream keeps the degenerate paths alive: no events at
+// all, and a stream with only decisions (no gauges).
+func TestReportEmptyStream(t *testing.T) {
+	var buf bytes.Buffer
+	writeReport(&buf, analyze(nil))
+	out := buf.String()
+	if !strings.Contains(out, "no run header") {
+		t.Errorf("empty report missing no-header notice:\n%s", out)
+	}
+	if !strings.Contains(out, "no gauge samples") {
+		t.Errorf("empty report missing gauge hint:\n%s", out)
+	}
+
+	buf.Reset()
+	evs := []obs.Event{
+		obs.RunInfo{Machine: "m", Scheduler: "cfs", Governor: "schedutil", Workload: "w", Scale: 1, Seed: 1},
+		obs.PlacementDecision{T: sim.Millisecond, Sched: "cfs", Task: 1, Core: 0, Path: "prev", Scanned: 1},
+	}
+	writeReport(&buf, analyze(evs))
+	if !strings.Contains(buf.String(), "cfs.prev") {
+		t.Errorf("decision-only report missing counters:\n%s", buf.String())
+	}
+}
+
+// TestDiffMissingSummary: diff of streams without run_summary events
+// degrades to counters only.
+func TestDiffMissingSummary(t *testing.T) {
+	evs := []obs.Event{
+		obs.PlacementDecision{T: sim.Millisecond, Sched: "cfs", Task: 1, Core: 0, Path: "prev", Scanned: 1},
+	}
+	var buf bytes.Buffer
+	writeDiff(&buf, "a.jsonl", "b.jsonl", analyze(evs), analyze(nil))
+	out := buf.String()
+	if !strings.Contains(out, "summary deltas: n/a") {
+		t.Errorf("missing-summary notice absent:\n%s", out)
+	}
+	if !strings.Contains(out, "cfs.prev\t") && !strings.Contains(out, "cfs.prev") {
+		t.Errorf("counter table absent:\n%s", out)
+	}
+}

@@ -13,12 +13,15 @@
 // run's placement decisions, -counters dumps the counter registry,
 // -events streams JSONL events, -prom writes Prometheus text exposition,
 // and -chrometrace exports a decision-annotated Perfetto trace.
+// -sample-every enables the periodic gauge sampler and -series writes
+// the sampled time series as JSONL for cmd/nestobs.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"sort"
 	"text/tabwriter"
 	"time"
@@ -46,8 +49,10 @@ func main() {
 		compare      = flag.Bool("compare", false, "run the four paper configurations and print speedups")
 		traceMS      = flag.Int("trace", 0, "render an ASCII core trace of the first N milliseconds")
 		customPath   = flag.String("custom", "", "register a custom workload from a JSON spec file (see internal/workload.CustomSpec)")
-		chromeOut    = flag.String("chrometrace", "", "write a decision-annotated Chrome/Perfetto trace to this file (with -runs > 1, only the first run is traced)")
+		chromeOut    = flag.String("chrometrace", "", "write a decision-annotated Chrome/Perfetto trace to this file (with -runs > 1, run N goes to <name>.runN.json)")
 		eventsOut    = flag.String("events", "", "stream decision events as JSONL to this file (first run only)")
+		seriesOut    = flag.String("series", "", "write sampled gauge time series as JSONL to this file (first run only; implies -sample-every 4ms if unset)")
+		sampleEvery  = flag.Duration("sample-every", 0, "emit per-core/nest/socket gauge samples at this sim-time interval (rounded up to the 4ms tick; 0 = off; never changes results)")
 		countersOn   = flag.Bool("counters", false, "print the run's counter registry (first run only)")
 		explainOn    = flag.Bool("explain", false, "print a placement-path/scan-cost/nest-size summary (first run only)")
 		promOut      = flag.String("prom", "", "write the counter registry in Prometheus text exposition to this file")
@@ -103,6 +108,14 @@ func main() {
 	if *invariantsOn {
 		rs.Check = invariant.New()
 	}
+	if *sampleEvery < 0 {
+		fmt.Fprintln(os.Stderr, "nestsim: -sample-every must not be negative")
+		os.Exit(2)
+	}
+	if *seriesOut != "" && *sampleEvery == 0 {
+		*sampleEvery = 4 * time.Millisecond
+	}
+	rs.SampleEvery = sim.Duration(*sampleEvery)
 
 	if *compare {
 		if err := runCompare(*machineName, *wlName, *scale, *runs, *seed, *faultsSpec, *invariantsOn, *parallel, *cellTO); err != nil {
@@ -119,16 +132,19 @@ func main() {
 		}
 		return
 	}
-	if err := runMain(rs, *runs, *parallel, *cellTO, *chromeOut, *eventsOut, *promOut, *countersOn, *explainOn); err != nil {
+	if err := runMain(rs, *runs, *parallel, *cellTO, *chromeOut, *eventsOut, *seriesOut, *promOut, *countersOn, *explainOn); err != nil {
 		fmt.Fprintln(os.Stderr, "nestsim:", err)
 		os.Exit(1)
 	}
 }
 
 // runMain executes the standard flow: N runs, the first carrying any
-// requested observers (events, explain, chrome trace, counters), spread
-// over `workers` goroutines (repeats are independent simulations).
-func runMain(rs experiments.RunSpec, runs, workers int, cellTO time.Duration, chromeOut, eventsOut, promOut string, countersOn, explainOn bool) error {
+// requested observers (events, series, explain, counters), spread over
+// `workers` goroutines (repeats are independent simulations). Chrome
+// traces are the exception: every repeat gets its own timeline and its
+// own output file, because one run's trace says nothing about the
+// run-to-run variance a repeat exists to measure.
+func runMain(rs experiments.RunSpec, runs, workers int, cellTO time.Duration, chromeOut, eventsOut, seriesOut, promOut string, countersOn, explainOn bool) error {
 	var recs []obs.Recorder
 	var jsonl *obs.JSONLRecorder
 	var eventsF *os.File
@@ -141,24 +157,44 @@ func runMain(rs experiments.RunSpec, runs, workers int, cellTO time.Duration, ch
 		jsonl = obs.NewJSONL(f)
 		recs = append(recs, jsonl)
 	}
+	var series *obs.SeriesBuffer
+	if seriesOut != "" {
+		series = &obs.SeriesBuffer{}
+		recs = append(recs, series)
+	}
 	var explain *obs.Explain
 	if explainOn {
 		explain = obs.NewExplain()
 		recs = append(recs, explain)
 	}
-	var tl *metrics.Timeline
+	var tls []*metrics.Timeline
 	if chromeOut != "" {
-		tl = metrics.NewTimeline(2_000_000)
+		tl := metrics.NewTimeline(2_000_000)
 		tl.ProcessName = rs.Workload + " on " + rs.Machine +
 			" (" + rs.Scheduler + "-" + rs.Governor + ")"
 		recs = append(recs, obs.NewTimelineRecorder(tl))
 		rs.Timeline = tl
+		tls = append(tls, tl)
 	}
 	if len(recs) > 0 || countersOn || promOut != "" {
 		rs.Obs = obs.New(recs...)
 	}
 
-	results, err := experiments.RunRepeatsOpts(rs, runs,
+	specs := experiments.RepeatSpecs(rs, runs)
+	if chromeOut != "" {
+		// Repeats beyond the first get a private timeline and a private
+		// hub carrying only its recorder; the shared observers above stay
+		// on run 1.
+		for i := 1; i < len(specs); i++ {
+			tl := metrics.NewTimeline(2_000_000)
+			tl.ProcessName = fmt.Sprintf("%s on %s (%s-%s) run %d",
+				rs.Workload, rs.Machine, rs.Scheduler, rs.Governor, i+1)
+			specs[i].Timeline = tl
+			specs[i].Obs = obs.New(obs.NewTimelineRecorder(tl))
+			tls = append(tls, tl)
+		}
+	}
+	results, err := experiments.RunGrid(specs,
 		experiments.PoolOptions{Workers: workers, CellTimeout: cellTO})
 	if err != nil {
 		return err
@@ -207,8 +243,23 @@ func runMain(rs experiments.RunSpec, runs, workers int, cellTO time.Duration, ch
 		}
 		fmt.Printf("wrote %d events to %s\n", jsonl.Lines(), eventsOut)
 	}
-	if tl != nil {
-		f, err := os.Create(chromeOut)
+	if series != nil {
+		f, err := os.Create(seriesOut)
+		if err != nil {
+			return err
+		}
+		err = series.WriteJSONL(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Printf("wrote %d gauge samples to %s\n", series.Len(), seriesOut)
+	}
+	for i, tl := range tls {
+		out := runFileName(chromeOut, i+1)
+		f, err := os.Create(out)
 		if err != nil {
 			return err
 		}
@@ -219,18 +270,27 @@ func runMain(rs experiments.RunSpec, runs, workers int, cellTO time.Duration, ch
 		if err != nil {
 			return err
 		}
-		noun := "the run"
-		if runs > 1 {
-			noun = fmt.Sprintf("the first of %d runs", runs)
-		}
-		fmt.Printf("wrote %d slices, %d decision markers (%d dropped) for %s to %s\n",
-			len(tl.Slices), len(tl.Instants), tl.Dropped(), noun, chromeOut)
+		fmt.Printf("wrote %d slices, %d decision markers (%d dropped) for run %d/%d to %s\n",
+			len(tl.Slices), len(tl.Instants), tl.Dropped(), i+1, runs, out)
+	}
+	if len(tls) > 0 {
 		fmt.Println("open in ui.perfetto.dev or chrome://tracing")
 	}
 	if rs.Check != nil && rs.Check.Total() > 0 {
 		return fmt.Errorf("%d invariant violations detected", rs.Check.Total())
 	}
 	return nil
+}
+
+// runFileName derives the per-run trace file name: run 1 keeps the name
+// as given, run N inserts ".runN" before the extension (trace.json →
+// trace.run2.json; no extension → trace.run2).
+func runFileName(path string, run int) string {
+	if run <= 1 {
+		return path
+	}
+	ext := filepath.Ext(path)
+	return fmt.Sprintf("%s.run%d%s", path[:len(path)-len(ext)], run, ext)
 }
 
 // printCounters dumps the counter registry sorted by name.
@@ -278,7 +338,10 @@ func printResults(rs experiments.RunSpec, results []*metrics.Result) {
 	fmt.Printf("  runtime      %.4fs ± %.1f%%\n", metrics.Mean(times), pctStd(times))
 	fmt.Printf("  energy       %.1fJ ± %.1f%%\n", metrics.Mean(energies), pctStd(energies))
 	fmt.Printf("  underload    %.2f (avg/interval), %.1f/s\n", r0.UnderloadAvg, r0.UnderloadPerSec)
-	fmt.Printf("  wake p99     %v\n", r0.WakeLatency.Percentile(99))
+	tail := r0.WakeLatency.Tail()
+	us := func(d sim.Duration) float64 { return float64(d) / float64(sim.Microsecond) }
+	fmt.Printf("  wake tail    p50 %.1fµs  p95 %.1fµs  p99 %.1fµs  p99.9 %.1fµs\n",
+		us(tail.P50), us(tail.P95), us(tail.P99), us(tail.P999))
 	c := r0.Counters
 	fmt.Printf("  forks %d  wakeups %d  ctxsw %d (cold %d)  migrations %d  balances %d  collisions %d  spinticks %d\n",
 		c.Forks, c.Wakeups, c.CtxSwitches, c.ColdSwitches, c.Migrations, c.LoadBalances, c.Collisions, c.SpinTicksTotal)

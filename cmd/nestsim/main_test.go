@@ -1,0 +1,25 @@
+package main
+
+import "testing"
+
+// TestRunFileName pins the per-run chrome-trace naming: run 1 keeps the
+// flag value verbatim, later runs insert ".runN" before the extension.
+func TestRunFileName(t *testing.T) {
+	cases := []struct {
+		path string
+		run  int
+		want string
+	}{
+		{"trace.json", 1, "trace.json"},
+		{"trace.json", 2, "trace.run2.json"},
+		{"trace.json", 10, "trace.run10.json"},
+		{"out/trace.json", 3, "out/trace.run3.json"},
+		{"trace", 2, "trace.run2"},
+		{"a.b.json", 2, "a.b.run2.json"},
+	}
+	for _, c := range cases {
+		if got := runFileName(c.path, c.run); got != c.want {
+			t.Errorf("runFileName(%q, %d) = %q, want %q", c.path, c.run, got, c.want)
+		}
+	}
+}

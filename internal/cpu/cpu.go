@@ -111,6 +111,14 @@ type Config struct {
 	// (runnable count, busy cores, mean frequency, power).
 	Series *metrics.TimeSeries
 
+	// SampleEvery, when positive, emits periodic gauge events (per-core
+	// state/frequency/queue depth, nest sizes, per-socket busy share)
+	// through Obs at the given sim-time interval, rounded up to whole
+	// ticks. Zero disables sampling; without an enabled Obs hub the
+	// sampler costs nothing. Sampling only observes — enabling it never
+	// changes simulation results.
+	SampleEvery sim.Duration
+
 	// Timeline, when non-nil, records execution slices for Chrome-trace
 	// export.
 	Timeline *metrics.Timeline
@@ -270,6 +278,19 @@ type Machine struct {
 	// of timer noise.
 	tickJitter sim.Duration
 
+	// sampleTicks is the gauge-sampling period in ticks (0 = off); the
+	// gauge pass piggybacks on the tick so sampling adds no engine
+	// events, keeping quiescence detection and event order intact.
+	sampleTicks int
+
+	// nestSizes is the policy's nest-size view when it has one (the nest
+	// scheduler), for the NestGauge sample.
+	nestSizes nestSizer
+
+	// gaugeBusy / gaugeOnline are per-socket scratch for the gauge pass.
+	gaugeBusy   []int
+	gaugeOnline []int
+
 	// tasks / inFlight back the invariant checker's machine sweep; both
 	// stay nil (and cost nothing) unless Config.Check is set. inFlight
 	// counts placements between core selection and enqueue per task.
@@ -321,7 +342,26 @@ func New(cfg Config) *Machine {
 		cfg.Check.Bind(m, cfg.Policy)
 		m.eng.OnStep(cfg.Check.Check)
 	}
+	if cfg.SampleEvery > 0 {
+		m.sampleTicks = int((cfg.SampleEvery + sim.Tick - 1) / sim.Tick)
+		if m.sampleTicks < 1 {
+			m.sampleTicks = 1
+		}
+		m.gaugeBusy = make([]int, m.topo.NumSockets())
+		m.gaugeOnline = make([]int, m.topo.NumSockets())
+	}
+	if ns, ok := cfg.Policy.(nestSizer); ok {
+		m.nestSizes = ns
+	}
 	return m
+}
+
+// nestSizer is the structural view of a policy that maintains a nest
+// (internal/core); the gauge pass samples it without the cpu package
+// depending on any concrete policy.
+type nestSizer interface {
+	PrimarySize() int
+	ReserveSize() int
 }
 
 // Engine exposes the event engine so workload drivers can schedule
@@ -441,6 +481,7 @@ func (m *Machine) finalize() {
 		m.res.Stats = &metrics.RunStats{
 			Counters: m.obs.Snapshot(),
 			Events:   m.obs.Events(),
+			WakeTail: m.res.WakeLatency.Tail(),
 		}
 	}
 }

@@ -20,6 +20,7 @@ func (m *Machine) tick() {
 	m.balancePass()
 	m.refreshSocketLoads(now)
 	m.samplePass(now)
+	m.gaugePass(now)
 
 	if m.liveTasks > 0 {
 		d := sim.Tick
@@ -212,6 +213,54 @@ func (m *Machine) samplePass(now sim.Time) {
 		MeanBusyMHz: mean,
 		PowerW:      m.lastTickPowerW,
 	})
+}
+
+// gaugePass emits the periodic gauge batch (Config.SampleEvery) through
+// the obs hub: one CoreGauge per core in ascending order, a NestGauge
+// when the policy maintains one, one SocketGauge per socket. It only
+// observes — no simulation state, RNG draw or engine event is touched —
+// so sampled and unsampled runs produce byte-identical results.
+func (m *Machine) gaugePass(now sim.Time) {
+	h := m.obs
+	if !h.Enabled() {
+		return
+	}
+	if m.sampleTicks == 0 || m.tickIndex%m.sampleTicks != 0 {
+		return
+	}
+	for s := range m.gaugeBusy {
+		m.gaugeBusy[s] = 0
+		m.gaugeOnline[s] = 0
+	}
+	for i := range m.cores {
+		cs := &m.cores[i]
+		state := "idle"
+		switch {
+		case cs.offline:
+			state = "offline"
+		case cs.cur != nil:
+			state = "busy"
+		case cs.spinUntil > now:
+			state = "spin"
+		}
+		if !cs.offline {
+			s := m.topo.Socket(cs.id)
+			m.gaugeOnline[s]++
+			if cs.cur != nil {
+				m.gaugeBusy[s]++
+			}
+		}
+		h.Emit(obs.CoreGauge{
+			T: now, Core: int(cs.id), State: state,
+			FreqMHz: int(m.fm.Cur(cs.id)), Queue: len(cs.queue),
+		})
+	}
+	if m.nestSizes != nil {
+		h.Emit(obs.NestGauge{T: now, Primary: m.nestSizes.PrimarySize(), Reserve: m.nestSizes.ReserveSize()})
+	}
+	for s := 0; s < m.topo.NumSockets(); s++ {
+		h.Emit(obs.SocketGauge{T: now, Socket: s, Busy: m.gaugeBusy[s], Online: m.gaugeOnline[s]})
+	}
 }
 
 // underloadPass closes the 4 ms underload interval of §5.2: cores used

@@ -57,11 +57,13 @@ func CellKey(rs RunSpec) (string, bool) {
 	if scale <= 0 {
 		scale = DefaultScale
 	}
-	id := fmt.Sprintf("cell|v%d|%s|%s|%s|%s|%s|scale=%s|seed=%d|limit=%d|faults=%s|obs=%t|check=%t",
+	// SampleEvery is part of the identity because gauge emission lands in
+	// the result's Stats (counters, event totals) when a hub is attached.
+	id := fmt.Sprintf("cell|v%d|%s|%s|%s|%s|%s|scale=%s|seed=%d|limit=%d|faults=%s|obs=%t|sample=%d|check=%t",
 		checkpoint.Version, checkpoint.CodeSalt(),
 		rs.Machine, rs.Scheduler, rs.Governor, rs.Workload,
 		strconv.FormatFloat(scale, 'g', -1, 64), rs.Seed, int64(rs.Limit),
-		plan.String(), rs.Obs.Enabled(), rs.Check != nil)
+		plan.String(), rs.Obs.Enabled(), int64(rs.SampleEvery), rs.Check != nil)
 	sum := sha256.Sum256([]byte(id))
 	return hex.EncodeToString(sum[:]), true
 }

@@ -36,11 +36,12 @@ func hackbenchExp(opt Options) (*Report, error) {
 	return rep, nil
 }
 
-// schbenchExp reports p99.9 wakeup latency for the schbench points.
+// schbenchExp reports wakeup-latency tail percentiles for the schbench
+// points (p50/p99/p99.9, histogram-derived).
 func schbenchExp(opt Options) (*Report, error) {
 	opt.fill()
-	rep := &Report{ID: "schbench", Title: "schbench p99.9 wakeup latency (no clear winner expected)"}
-	cols := []string{"config", "CFS-sched p99.9", "Nest-sched p99.9"}
+	rep := &Report{ID: "schbench", Title: "schbench wakeup-latency tails, p50/p99/p99.9 (no clear winner expected)"}
+	cols := []string{"config", "CFS-sched p50/p99/p99.9", "Nest-sched p50/p99/p99.9"}
 	sec := Section{Heading: "5218", Columns: cols}
 	for _, wl := range []string{
 		"micro/schbench-m2-w16", "micro/schbench-m8-w16", "micro/schbench-m8-w32",
@@ -52,8 +53,8 @@ func schbenchExp(opt Options) (*Report, error) {
 			if err != nil {
 				return nil, err
 			}
-			p := c.first().WakeLatency.Percentile(99.9)
-			row = append(row, fmt.Sprintf("%.1fµs", float64(p)/float64(sim.Microsecond)))
+			tail := c.first().WakeLatency.Tail()
+			row = append(row, fmt.Sprintf("%s/%s/%s", usStr(tail.P50), usStr(tail.P99), usStr(tail.P999)))
 		}
 		sec.Rows = append(sec.Rows, row)
 	}
@@ -61,11 +62,16 @@ func schbenchExp(opt Options) (*Report, error) {
 	return rep, nil
 }
 
+// usStr renders a duration in microseconds for latency tables.
+func usStr(d sim.Duration) string {
+	return fmt.Sprintf("%.1fµs", float64(d)/float64(sim.Microsecond))
+}
+
 // serverExp runs the §5.6 server tests on the 2-socket 6130.
 func serverExp(opt Options) (*Report, error) {
 	opt.fill()
 	rep := &Report{ID: "server", Title: "Server tests, 2-socket 6130: Nest-schedutil vs CFS-schedutil"}
-	cols := []string{"test", "CFS-sched", "Nest speedup"}
+	cols := []string{"test", "CFS-sched", "Nest speedup", "req p99 CFS→Nest", "SLO% CFS→Nest"}
 	sec := Section{Heading: "6130-2", Columns: cols}
 	for _, name := range workload.ServerNames() {
 		wl := "server/" + name
@@ -77,10 +83,13 @@ func serverExp(opt Options) (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
+		bc, nc := base.first().Custom, c.first().Custom
 		sec.Rows = append(sec.Rows, []string{
 			name,
 			fmt.Sprintf("%.3fs ±%.0f%%", base.meanTime(), base.stdPct()),
 			pct(metrics.Speedup(base.meanTime(), c.meanTime())),
+			fmt.Sprintf("%.0f→%.0fµs", bc["req_p99_us"], nc["req_p99_us"]),
+			fmt.Sprintf("%.1f→%.1f", bc["slo_pct"], nc["slo_pct"]),
 		})
 	}
 	sec.Notes = []string{

@@ -129,8 +129,12 @@ type RunSpec struct {
 	Timeline  *metrics.Timeline
 	// Obs, when non-nil, receives decision events and counters from every
 	// layer of the run (see internal/obs and docs/OBSERVABILITY.md).
-	Obs   *obs.Hub
-	Limit sim.Time // 0 = none
+	Obs *obs.Hub
+	// SampleEvery, when positive, emits periodic gauge batches (per-core
+	// state/frequency/queue, nest size, per-socket busy share) through
+	// Obs at this sim-time interval. It never changes simulation results.
+	SampleEvery sim.Duration
+	Limit       sim.Time // 0 = none
 	// Faults, when non-empty, is a fault plan in the internal/fault DSL
 	// (e.g. "off:c3@2s+500ms,throttle:s0@1s=2.1GHz") applied to the run.
 	Faults string
@@ -200,11 +204,11 @@ func RunOnSpec(spec *machine.Spec, rs RunSpec) (*metrics.Result, error) {
 	if err := plan.Validate(spec); err != nil {
 		return nil, err
 	}
+	mname := rs.Machine
+	if mname == "" {
+		mname = spec.Topo.Name()
+	}
 	if h := rs.Obs; h.Enabled() {
-		mname := rs.Machine
-		if mname == "" {
-			mname = spec.Topo.Name()
-		}
 		h.Emit(obs.RunInfo{
 			Machine: mname, Scheduler: rs.Scheduler, Governor: rs.Governor,
 			Workload: rs.Workload, Scale: rs.Scale, Seed: rs.Seed,
@@ -214,15 +218,16 @@ func RunOnSpec(spec *machine.Spec, rs RunSpec) (*metrics.Result, error) {
 		rs.Check.SetObs(rs.Obs)
 	}
 	m := cpu.New(cpu.Config{
-		Spec:     spec,
-		Gov:      gov,
-		Policy:   sf(),
-		Seed:     rs.Seed,
-		Trace:    rs.Trace,
-		Series:   rs.Series,
-		Timeline: rs.Timeline,
-		Obs:      rs.Obs,
-		Check:    rs.Check,
+		Spec:        spec,
+		Gov:         gov,
+		Policy:      sf(),
+		Seed:        rs.Seed,
+		Trace:       rs.Trace,
+		Series:      rs.Series,
+		Timeline:    rs.Timeline,
+		Obs:         rs.Obs,
+		SampleEvery: rs.SampleEvery,
+		Check:       rs.Check,
 	})
 	plan.Apply(m)
 	w.Install(m, rs.Scale)
@@ -233,6 +238,21 @@ func RunOnSpec(spec *machine.Spec, rs RunSpec) (*metrics.Result, error) {
 	res.Workload = rs.Workload
 	if rs.Check != nil {
 		res.SetCustom("invariant_violations", float64(rs.Check.Total()))
+	}
+	if h := rs.Obs; h.Enabled() {
+		// Close the stream with the headline results so offline tooling
+		// (cmd/nestobs diff) can compare runs from the events alone. The
+		// summary is emitted after finalize, so it never appears in the
+		// run's own Stats snapshot.
+		tail := res.WakeLatency.Tail()
+		h.Emit(obs.RunSummary{
+			Machine: mname, Scheduler: rs.Scheduler, Governor: rs.Governor,
+			Workload: rs.Workload, Seed: rs.Seed,
+			RuntimeNS: int64(res.Runtime), EnergyJ: res.EnergyJ,
+			WakeP50: int64(tail.P50), WakeP95: int64(tail.P95),
+			WakeP99: int64(tail.P99), WakeP999: int64(tail.P999),
+			Wakeups: int64(res.WakeLatency.Count()),
+		})
 	}
 	return res, nil
 }

@@ -1,0 +1,171 @@
+package metrics
+
+import (
+	"math/bits"
+
+	"repro/internal/sim"
+)
+
+// LatHist is a log-bucketed latency histogram in the HDR style: each
+// power-of-two octave of nanoseconds is split into 2^latSubBits linear
+// sub-buckets, so recording is O(1), memory is a few KiB regardless of
+// sample count, and any percentile is exact to within one bucket —
+// a bounded relative error of 2^-latSubBits (3.125%). It is pure Go,
+// allocation-free after the first octave is touched, and deterministic:
+// the same multiset of samples always yields the same buckets and the
+// same percentile answers, which the canonical result encoding relies
+// on.
+//
+// The zero value is ready to use.
+type LatHist struct {
+	counts []int64
+	n      int64
+	max    sim.Duration
+}
+
+// latSubBits sets the sub-bucket resolution: 2^latSubBits linear
+// sub-buckets per power-of-two octave. 5 bits = 32 sub-buckets, bounding
+// the relative quantisation error of any percentile at 1/32.
+const latSubBits = 5
+
+const latSubCount = 1 << latSubBits
+
+// latIndex maps a non-negative nanosecond value to its bucket index.
+// Values below latSubCount get exact unit buckets; above, the value's
+// octave [2^e, 2^(e+1)) is split into latSubCount equal sub-buckets.
+func latIndex(v int64) int {
+	if v < latSubCount {
+		return int(v)
+	}
+	e := 63 - bits.LeadingZeros64(uint64(v))
+	sub := int(v>>uint(e-latSubBits)) & (latSubCount - 1)
+	return (e-latSubBits+1)*latSubCount + sub
+}
+
+// latBounds returns bucket i's value range [lo, hi) — the inverse of
+// latIndex.
+func latBounds(i int) (lo, hi int64) {
+	if i < latSubCount {
+		return int64(i), int64(i) + 1
+	}
+	b := i/latSubCount - 1 // octave shift: bucket width is 1<<b
+	sub := int64(i % latSubCount)
+	lo = (latSubCount + sub) << uint(b)
+	return lo, lo + 1<<uint(b)
+}
+
+// Add records one latency sample. Negative samples clamp to zero.
+func (h *LatHist) Add(d sim.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	i := latIndex(int64(d))
+	if i >= len(h.counts) {
+		grown := make([]int64, i+1)
+		copy(grown, h.counts)
+		h.counts = grown
+	}
+	h.counts[i]++
+	h.n++
+	if d > h.max {
+		h.max = d
+	}
+}
+
+// Count returns the number of recorded samples.
+func (h *LatHist) Count() int64 { return h.n }
+
+// Max returns the largest recorded sample (0 if empty).
+func (h *LatHist) Max() sim.Duration { return h.max }
+
+// Merge adds other's samples into h.
+func (h *LatHist) Merge(other *LatHist) {
+	if other == nil {
+		return
+	}
+	if len(other.counts) > len(h.counts) {
+		grown := make([]int64, len(other.counts))
+		copy(grown, h.counts)
+		h.counts = grown
+	}
+	for i, c := range other.counts {
+		h.counts[i] += c
+	}
+	h.n += other.n
+	if other.max > h.max {
+		h.max = other.max
+	}
+}
+
+// Percentile returns the p-th percentile (p in [0,100]); 0 if empty.
+// It uses the same rank convention as Latency.Percentile — the sample
+// at sorted index int(p/100*(n-1)) — then interpolates linearly within
+// the bucket holding that rank, so the answer is exact within one
+// bucket (relative error at most 2^-latSubBits for values above
+// 2^latSubBits, exact below).
+func (h *LatHist) Percentile(p float64) sim.Duration {
+	if h.n == 0 {
+		return 0
+	}
+	rank := int64(p / 100 * float64(h.n-1))
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= h.n {
+		rank = h.n - 1
+	}
+	var cum int64
+	for i, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		if cum+c > rank {
+			lo, hi := latBounds(i)
+			if hi-lo <= 1 {
+				return sim.Duration(lo)
+			}
+			// Interpolate by the rank's position among this bucket's
+			// samples; integer math keeps the result platform-stable.
+			pos := rank - cum // 0-based within bucket, < c
+			v := lo + (hi-lo)*pos/c
+			if sim.Duration(v) > h.max {
+				return h.max
+			}
+			return sim.Duration(v)
+		}
+		cum += c
+	}
+	return h.max
+}
+
+// Tail summarises the percentiles the experiment outputs report.
+func (h *LatHist) Tail() TailSummary {
+	return TailSummary{
+		P50:  h.Percentile(50),
+		P95:  h.Percentile(95),
+		P99:  h.Percentile(99),
+		P999: h.Percentile(99.9),
+	}
+}
+
+// Buckets calls fn for every non-empty bucket in value order with the
+// bucket's range and count (for exporters and report renderers).
+func (h *LatHist) Buckets(fn func(lo, hi int64, count int64)) {
+	for i, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		lo, hi := latBounds(i)
+		fn(lo, hi, c)
+	}
+}
+
+// TailSummary carries the tail percentiles of one latency distribution
+// in virtual nanoseconds. It is part of the canonical result encoding
+// (see Latency.MarshalJSON) and of RunStats.
+type TailSummary struct {
+	P50  sim.Duration `json:"p50_ns"`
+	P95  sim.Duration `json:"p95_ns"`
+	P99  sim.Duration `json:"p99_ns"`
+	P999 sim.Duration `json:"p999_ns"`
+}

@@ -1,0 +1,191 @@
+package metrics
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// TestLatIndexRoundTrip checks that every bucket's bounds invert its
+// index: latIndex maps [lo, hi) back to the bucket, and the ranges tile
+// the value space without gaps.
+func TestLatIndexRoundTrip(t *testing.T) {
+	prevHi := int64(0)
+	// 50 octaves past the unit buckets — far above any simulated
+	// latency, well below int64 shift overflow.
+	for i := 0; i < 50*latSubCount; i++ {
+		lo, hi := latBounds(i)
+		if lo != prevHi {
+			t.Fatalf("bucket %d: lo=%d, want %d (gap or overlap)", i, lo, prevHi)
+		}
+		prevHi = hi
+		if got := latIndex(lo); got != i {
+			t.Fatalf("latIndex(%d)=%d, want %d", lo, got, i)
+		}
+		if got := latIndex(hi - 1); got != i {
+			t.Fatalf("latIndex(%d)=%d, want %d", hi-1, got, i)
+		}
+	}
+}
+
+// TestLatHistExactSmall verifies values below one octave's sub-bucket
+// count are recorded exactly.
+func TestLatHistExactSmall(t *testing.T) {
+	var h LatHist
+	var exact Latency
+	for v := 0; v < latSubCount; v++ {
+		h.Add(sim.Duration(v))
+		exact.Add(sim.Duration(v))
+	}
+	for p := 0.0; p <= 100; p += 2.5 {
+		if got, want := h.Percentile(p), exact.Percentile(p); got != want {
+			t.Fatalf("p%.1f = %d, want %d (small values must be exact)", p, int64(got), int64(want))
+		}
+	}
+}
+
+// TestLatHistErrorBound pins the histogram's relative error against
+// exact sorted-sample percentiles: within 2^-latSubBits (3.125%) plus
+// one nanosecond of integer slack, over a deterministic heavy-tailed
+// sample set spanning six decades.
+func TestLatHistErrorBound(t *testing.T) {
+	var h LatHist
+	var exact Latency
+	// Deterministic LCG; values from ~1ns to ~100ms with a long tail.
+	x := uint64(12345)
+	samples := make([]sim.Duration, 0, 20000)
+	for i := 0; i < 20000; i++ {
+		x = x*6364136223846793005 + 1442695040888963407
+		// Exponentiate a uniform draw so every decade is populated.
+		u := float64(x>>11) / float64(1<<53)
+		v := sim.Duration(math.Pow(10, 8*u))
+		samples = append(samples, v)
+		h.Add(v)
+		exact.Add(v)
+	}
+	const bound = 1.0/float64(latSubCount) + 1e-9
+	for _, p := range []float64{0, 10, 50, 90, 95, 99, 99.9, 100} {
+		want := exact.Percentile(p)
+		got := h.Percentile(p)
+		relErr := math.Abs(float64(got-want)) / math.Max(float64(want), 1)
+		if relErr > bound && absDur(got-want) > 1 {
+			t.Errorf("p%v: hist=%v exact=%v relErr=%.4f > %.4f", p, got, want, relErr, bound)
+		}
+	}
+	if h.Count() != int64(len(samples)) {
+		t.Fatalf("Count=%d, want %d", h.Count(), len(samples))
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	if h.Max() != samples[len(samples)-1] {
+		t.Fatalf("Max=%v, want %v", h.Max(), samples[len(samples)-1])
+	}
+}
+
+func absDur(d sim.Duration) sim.Duration {
+	if d < 0 {
+		return -d
+	}
+	return d
+}
+
+// TestLatHistPercentileMonotone checks percentile monotonicity and the
+// p100 == max identity the CI smoke job relies on.
+func TestLatHistPercentileMonotone(t *testing.T) {
+	var h LatHist
+	x := uint64(99)
+	for i := 0; i < 5000; i++ {
+		x = x*2862933555777941757 + 3037000493
+		h.Add(sim.Duration(x % 50_000_000))
+	}
+	prev := sim.Duration(-1)
+	for p := 0.0; p <= 100; p += 0.5 {
+		v := h.Percentile(p)
+		if v < prev {
+			t.Fatalf("p%v=%v < p%v=%v (not monotone)", p, v, p-0.5, prev)
+		}
+		prev = v
+	}
+	if h.Percentile(100) != h.Max() {
+		t.Fatalf("p100=%v, want max %v", h.Percentile(100), h.Max())
+	}
+}
+
+// TestLatHistEmptyAndNegative covers the degenerate inputs.
+func TestLatHistEmptyAndNegative(t *testing.T) {
+	var h LatHist
+	if h.Percentile(99) != 0 || h.Count() != 0 || h.Max() != 0 {
+		t.Fatal("empty histogram must report zeros")
+	}
+	h.Add(-5) // clamps to 0
+	if h.Percentile(50) != 0 || h.Count() != 1 {
+		t.Fatalf("negative sample: p50=%v count=%d, want 0, 1", h.Percentile(50), h.Count())
+	}
+}
+
+// TestLatHistMerge verifies merging equals recording everything in one
+// histogram.
+func TestLatHistMerge(t *testing.T) {
+	var a, b, both LatHist
+	for i := 0; i < 1000; i++ {
+		v := sim.Duration(i * i)
+		if i%2 == 0 {
+			a.Add(v)
+		} else {
+			b.Add(v)
+		}
+		both.Add(v)
+	}
+	a.Merge(&b)
+	a.Merge(nil) // no-op
+	if a.Count() != both.Count() || a.Max() != both.Max() {
+		t.Fatalf("merge: count=%d max=%v, want %d %v", a.Count(), a.Max(), both.Count(), both.Max())
+	}
+	for _, p := range []float64{1, 50, 99, 99.9} {
+		if a.Percentile(p) != both.Percentile(p) {
+			t.Fatalf("p%v: merged=%v combined=%v", p, a.Percentile(p), both.Percentile(p))
+		}
+	}
+}
+
+// TestLatHistBuckets checks the bucket iterator reports every sample
+// once, in value order.
+func TestLatHistBuckets(t *testing.T) {
+	var h LatHist
+	for _, v := range []sim.Duration{3, 3, 70, 1_000_000} {
+		h.Add(v)
+	}
+	var total int64
+	prevHi := int64(-1)
+	h.Buckets(func(lo, hi, count int64) {
+		if lo <= prevHi-1 {
+			t.Fatalf("buckets out of order: lo=%d after hi=%d", lo, prevHi)
+		}
+		prevHi = hi
+		total += count
+	})
+	if total != 4 {
+		t.Fatalf("bucket counts sum to %d, want 4", total)
+	}
+}
+
+// TestLatencyTailMatchesHist ties Latency.Tail to the standalone
+// histogram and checks the JSON round trip preserves it canonically.
+func TestLatencyTailMatchesHist(t *testing.T) {
+	var l Latency
+	var h LatHist
+	x := uint64(7)
+	for i := 0; i < 3000; i++ {
+		x = x*6364136223846793005 + 1442695040888963407
+		v := sim.Duration(x % 10_000_000)
+		l.Add(v)
+		h.Add(v)
+	}
+	if l.Tail() != h.Tail() {
+		t.Fatalf("Latency.Tail %+v != LatHist.Tail %+v", l.Tail(), h.Tail())
+	}
+	if l.Tail().P50 > l.Tail().P95 || l.Tail().P95 > l.Tail().P99 || l.Tail().P99 > l.Tail().P999 {
+		t.Fatalf("tail not monotone: %+v", l.Tail())
+	}
+}

@@ -222,8 +222,8 @@ func TestLatencyJSONRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if string(b) != `{"samples":[10,10,20,30]}` {
-		t.Errorf("marshal = %s, want sorted samples", b)
+	if string(b) != `{"samples":[10,10,20,30],"tail":{"p50_ns":10,"p95_ns":20,"p99_ns":20,"p999_ns":20}}` {
+		t.Errorf("marshal = %s, want sorted samples plus tail", b)
 	}
 	// Marshaling must not mutate: insertion order is still intact.
 	if l.samples[0] != 30 {

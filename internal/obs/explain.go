@@ -66,6 +66,15 @@ func (x *Explain) Record(ev Event) {
 		x.stamp(e.T)
 	case GovernorRequest:
 		x.stamp(e.T)
+	case NestGauge:
+		// Periodic samples fill the gaps between expand/compact events,
+		// so a sampled run gets a denser nest-size sparkline.
+		x.nestSizes = append(x.nestSizes, nestPoint{e.T, e.Primary, e.Reserve})
+		x.stamp(e.T)
+	case CoreGauge:
+		x.stamp(e.T)
+	case SocketGauge:
+		x.stamp(e.T)
 	}
 }
 

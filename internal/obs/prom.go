@@ -15,14 +15,25 @@ import (
 //
 // labels are attached to every sample (sorted by key); pass nil for
 // none. Dots and other non-metric characters in counter names become
-// underscores, prefixed "nestsim_" and suffixed "_total".
+// underscores, prefixed "nestsim_" and suffixed "_total". Sanitisation
+// can collide ("a.b" and "a_b" both become "nestsim_a_b_total"); the
+// first name in sorted order keeps the plain metric name and later
+// colliders get a deterministic ordinal inserted before the suffix
+// ("nestsim_a_b_2_total"), so no counter is silently dropped and the
+// mapping is stable across runs.
 func WritePrometheus(w io.Writer, cs *Counters, labels map[string]string) error {
 	if cs == nil {
 		return nil
 	}
 	lstr := promLabels(labels)
+	used := make(map[string]int)
 	for _, name := range cs.Names() {
-		metric := promName(name)
+		base := promBase(name)
+		used[base]++
+		metric := base + "_total"
+		if n := used[base]; n > 1 {
+			metric = fmt.Sprintf("%s_%d_total", base, n)
+		}
 		if _, err := fmt.Fprintf(w, "# HELP %s nest-sim counter %q\n# TYPE %s counter\n%s%s %d\n",
 			metric, name, metric, metric, lstr, cs.Value(name)); err != nil {
 			return err
@@ -31,8 +42,10 @@ func WritePrometheus(w io.Writer, cs *Counters, labels map[string]string) error 
 	return nil
 }
 
-// promName sanitises a dotted counter name into a Prometheus metric name.
-func promName(name string) string {
+// promBase sanitises a dotted counter name into a Prometheus metric name
+// stem (no "_total" suffix; WritePrometheus appends it after collision
+// disambiguation).
+func promBase(name string) string {
 	var b strings.Builder
 	b.WriteString("nestsim_")
 	for i := 0; i < len(name); i++ {
@@ -44,7 +57,6 @@ func promName(name string) string {
 			b.WriteByte('_')
 		}
 	}
-	b.WriteString("_total")
 	return b.String()
 }
 

@@ -1,0 +1,51 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestPromNameCollision is the regression test for sanitisation
+// collisions: "a.b" and "a_b" both sanitise to "nestsim_a_b"; the output
+// must keep both counters under distinct, deterministically assigned
+// metric names (first in sorted counter order keeps the plain name).
+func TestPromNameCollision(t *testing.T) {
+	cs := NewCounters()
+	cs.Add("a.b", 1)
+	cs.Add("a_b", 2)
+	cs.Add("a-b", 3)
+	var b strings.Builder
+	if err := WritePrometheus(&b, cs, nil); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	// Sorted counter order: "a-b" (0x2d) < "a.b" (0x2e) < "a_b" (0x5f).
+	for _, w := range []string{
+		"nestsim_a_b_total 3",
+		"nestsim_a_b_2_total 1",
+		"nestsim_a_b_3_total 2",
+	} {
+		if !strings.Contains(out, w) {
+			t.Fatalf("missing %q in:\n%s", w, out)
+		}
+	}
+	// Stability: a second render maps identically.
+	var b2 strings.Builder
+	if err := WritePrometheus(&b2, cs, nil); err != nil {
+		t.Fatal(err)
+	}
+	if b2.String() != out {
+		t.Fatal("collision disambiguation is not deterministic")
+	}
+	// Each exposition metric name must be unique.
+	seen := map[string]bool{}
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "nestsim_") {
+			name := strings.Fields(line)[0]
+			if seen[name] {
+				t.Fatalf("duplicate metric name %q:\n%s", name, out)
+			}
+			seen[name] = true
+		}
+	}
+}

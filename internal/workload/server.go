@@ -31,6 +31,12 @@ type serverProfile struct {
 	// capacity instead of client-driven closed loops.
 	OpenLoop      bool
 	ArrivalFactor float64
+	// Class labels the request class for SLO accounting ("web", "kv",
+	// "script"); SLO is the per-request service-latency target. Requests
+	// completing within SLO count toward the run's attainment customs
+	// (slo_ok, slo_pct) and the "slo.<class>.*" counters.
+	Class string
+	SLO   sim.Duration
 }
 
 func (p serverProfile) install(m *cpu.Machine, scale float64) {
@@ -40,9 +46,11 @@ func (p serverProfile) install(m *cpu.Machine, scale float64) {
 	if perHandler < 1 {
 		perHandler = 1
 	}
+	acc := &sloAccum{class: p.class(), slo: p.SLO}
 
 	if p.OpenLoop {
-		p.installOpenLoop(m, svc, perHandler)
+		p.installOpenLoop(m, svc, perHandler, acc)
+		acc.finishOn(m, "server-main")
 		return
 	}
 
@@ -50,18 +58,28 @@ func (p serverProfile) install(m *cpu.Machine, scale float64) {
 	mkHandler := func() proc.Behavior {
 		left := perHandler
 		state := 0
+		reqStart := sim.Time(-1)
 		return func(t *proc.Task, r *sim.Rand) proc.Action {
 			switch state {
 			case 0:
+				// Reaching state 0 again means the previous request's
+				// service compute (if any) just finished.
+				if reqStart >= 0 {
+					acc.record(t.Now - reqStart)
+					reqStart = -1
+				}
 				if left == 0 {
 					return proc.Exit{}
 				}
 				left--
+				reqStart = t.Now
 				if p.Pause > 0 {
 					state = 1
 				}
 				return proc.Compute{Cycles: svc(r)}
 			default:
+				acc.record(t.Now - reqStart)
+				reqStart = -1
 				state = 0
 				return proc.Sleep{D: r.LogNormalDur(p.Pause, maxf(p.PauseCV, 0.3))}
 			}
@@ -73,19 +91,34 @@ func (p serverProfile) install(m *cpu.Machine, scale float64) {
 	}
 	actions = append(actions, proc.WaitChildren{})
 	m.Spawn("server-main", proc.Script(actions...))
+	acc.finishOn(m, "server-main")
+}
+
+// class returns the profile's request class, defaulting to "web".
+func (p serverProfile) class() string {
+	if p.Class == "" {
+		return "web"
+	}
+	return p.Class
 }
 
 // installOpenLoop builds the queue-fed saturated shape.
-func (p serverProfile) installOpenLoop(m *cpu.Machine, svc func(*sim.Rand) int64, perHandler int) {
+func (p serverProfile) installOpenLoop(m *cpu.Machine, svc func(*sim.Rand) int64, perHandler int, acc *sloAccum) {
 	queue := proc.NewChan("requests", 100_000)
 	total := perHandler * p.Handlers
 
 	mkHandler := func() proc.Behavior {
 		left := perHandler
 		state := 0
+		reqStart := sim.Time(-1)
 		return func(t *proc.Task, r *sim.Rand) proc.Action {
 			switch state {
 			case 0:
+				// Back at state 0: the previous request's compute is done.
+				if reqStart >= 0 {
+					acc.record(t.Now - reqStart)
+					reqStart = -1
+				}
 				if left == 0 {
 					return proc.Exit{}
 				}
@@ -93,6 +126,7 @@ func (p serverProfile) installOpenLoop(m *cpu.Machine, svc func(*sim.Rand) int64
 				state = 1
 				return proc.Recv{Ch: queue}
 			default:
+				reqStart = t.Now
 				state = 0
 				return proc.Compute{Cycles: svc(r)}
 			}
@@ -148,17 +182,20 @@ var serverTests = []struct {
 	secs float64
 	prof serverProfile
 }{
-	{"apache-siege-250", 15, serverProfile{Handlers: 96, Requests: 60000, Service: 900 * sim.Microsecond, CV: 0.6, OpenLoop: true, ArrivalFactor: 1.3}},
-	{"apache-siege-100", 15, serverProfile{Handlers: 64, Requests: 40000, Service: 900 * sim.Microsecond, CV: 0.6, OpenLoop: true, ArrivalFactor: 0.9}},
-	{"nginx-200", 15, serverProfile{Handlers: 32, Requests: 60000, Service: 500 * sim.Microsecond, CV: 0.4, Pause: 300 * sim.Microsecond, PauseCV: 0.5}},
-	{"nodejs", 12, serverProfile{Handlers: 4, Requests: 8000, Service: 4 * msec, CV: 0.5, Pause: 800 * sim.Microsecond}},
-	{"php", 12, serverProfile{Handlers: 8, Requests: 9000, Service: 3 * msec, CV: 0.5, Pause: 800 * sim.Microsecond}},
+	// SLO targets are ~4x the mean service time: generous enough that an
+	// unloaded warm core always meets them, tight enough that cold
+	// placements, slow ramps and queueing show up as attainment loss.
+	{"apache-siege-250", 15, serverProfile{Handlers: 96, Requests: 60000, Service: 900 * sim.Microsecond, CV: 0.6, OpenLoop: true, ArrivalFactor: 1.3, Class: "web", SLO: 4 * msec}},
+	{"apache-siege-100", 15, serverProfile{Handlers: 64, Requests: 40000, Service: 900 * sim.Microsecond, CV: 0.6, OpenLoop: true, ArrivalFactor: 0.9, Class: "web", SLO: 4 * msec}},
+	{"nginx-200", 15, serverProfile{Handlers: 32, Requests: 60000, Service: 500 * sim.Microsecond, CV: 0.4, Pause: 300 * sim.Microsecond, PauseCV: 0.5, Class: "web", SLO: 2 * msec}},
+	{"nodejs", 12, serverProfile{Handlers: 4, Requests: 8000, Service: 4 * msec, CV: 0.5, Pause: 800 * sim.Microsecond, Class: "web", SLO: 16 * msec}},
+	{"php", 12, serverProfile{Handlers: 8, Requests: 9000, Service: 3 * msec, CV: 0.5, Pause: 800 * sim.Microsecond, Class: "web", SLO: 12 * msec}},
 	// Key-value stores: client-driven requests with fsync-style pauses —
 	// the blinker pattern where keeping the core warm pays most.
-	{"leveldb", 15, serverProfile{Handlers: 2, Requests: 4000, Service: 1500 * sim.Microsecond, CV: 0.4, Pause: 5 * msec, PauseCV: 1.3}},
-	{"redis", 14, serverProfile{Handlers: 2, Requests: 9000, Service: 800 * sim.Microsecond, CV: 0.4, Pause: 1800 * sim.Microsecond, PauseCV: 0.9}},
-	{"rocksdb-randread", 14, serverProfile{Handlers: 32, Requests: 40000, Service: 1500 * sim.Microsecond, CV: 0.3}},
-	{"perl", 12, serverProfile{Handlers: 1, Requests: 1500, Service: 2500 * sim.Microsecond, CV: 0.5, Pause: 6 * msec, PauseCV: 1.3}},
+	{"leveldb", 15, serverProfile{Handlers: 2, Requests: 4000, Service: 1500 * sim.Microsecond, CV: 0.4, Pause: 5 * msec, PauseCV: 1.3, Class: "kv", SLO: 6 * msec}},
+	{"redis", 14, serverProfile{Handlers: 2, Requests: 9000, Service: 800 * sim.Microsecond, CV: 0.4, Pause: 1800 * sim.Microsecond, PauseCV: 0.9, Class: "kv", SLO: 3200 * sim.Microsecond}},
+	{"rocksdb-randread", 14, serverProfile{Handlers: 32, Requests: 40000, Service: 1500 * sim.Microsecond, CV: 0.3, Class: "kv", SLO: 6 * msec}},
+	{"perl", 12, serverProfile{Handlers: 1, Requests: 1500, Service: 2500 * sim.Microsecond, CV: 0.5, Pause: 6 * msec, PauseCV: 1.3, Class: "script", SLO: 10 * msec}},
 }
 
 // ServerNames lists the server tests.

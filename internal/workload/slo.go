@@ -1,0 +1,57 @@
+package workload
+
+import (
+	"repro/internal/cpu"
+	"repro/internal/metrics"
+	"repro/internal/proc"
+	"repro/internal/sim"
+)
+
+// sloAccum collects per-request service latencies for one server run: a
+// log-bucketed histogram plus SLO-attainment counters. Requests are
+// timed from the moment the handler issues the service computation to
+// the moment it completes, so queueing behind a preempted core, a cold
+// placement or a slow frequency ramp all count against the target while
+// the workload's own modelled I/O pauses do not. Recording only reads
+// the task clock — it never changes simulation behavior.
+type sloAccum struct {
+	class string
+	slo   sim.Duration
+	hist  metrics.LatHist
+	ok    int64
+}
+
+func (a *sloAccum) record(d sim.Duration) {
+	a.hist.Add(d)
+	if a.slo <= 0 || d <= a.slo {
+		a.ok++
+	}
+}
+
+// finishOn installs the end-of-run hook: when the named root task exits,
+// the accumulated request percentiles and SLO attainment are published
+// as result customs and, when observability is on, as per-class
+// counters.
+func (a *sloAccum) finishOn(m *cpu.Machine, rootName string) {
+	m.OnExit(func(t *proc.Task) {
+		if t.Name != rootName || a.hist.Count() == 0 {
+			return
+		}
+		res := m.Result()
+		tail := a.hist.Tail()
+		us := func(d sim.Duration) float64 { return float64(d) / float64(sim.Microsecond) }
+		res.SetCustom("req_total", float64(a.hist.Count()))
+		res.SetCustom("req_p50_us", us(tail.P50))
+		res.SetCustom("req_p95_us", us(tail.P95))
+		res.SetCustom("req_p99_us", us(tail.P99))
+		res.SetCustom("req_p999_us", us(tail.P999))
+		if a.slo > 0 {
+			res.SetCustom("slo_ok", float64(a.ok))
+			res.SetCustom("slo_pct", 100*float64(a.ok)/float64(a.hist.Count()))
+		}
+		if h := m.Obs(); h != nil {
+			h.Count("slo."+a.class+".ok", a.ok)
+			h.Count("slo."+a.class+".miss", a.hist.Count()-a.ok)
+		}
+	})
+}
