@@ -165,6 +165,7 @@ func writeReport(w io.Writer, a *analysis) {
 	writeSeries(w, a)
 	a.explain.WriteTo(w)
 	fmt.Fprintln(w)
+	writeOverload(w, a)
 	writeCounters(w, a.counters)
 	for _, s := range a.sums {
 		fmt.Fprintf(w, "summary: runtime %v  energy %.1fJ  wake p50/p95/p99/p99.9 %s/%s/%s/%s  (%d wakeups)\n",
@@ -329,6 +330,73 @@ func spark(vals []float64) (string, float64) {
 		}
 	}
 	return string(out), peak
+}
+
+// writeOverload summarises the overload-control counters (ovl.* — see
+// docs/ROBUSTNESS.md): offered attempts, goodput, shed and timeout
+// shares, retry amplification, the shed/timeout causes and a per-class
+// breakdown. Offered counts attempts (base arrivals plus retries);
+// every attempt is terminal in exactly one of completed, shed or
+// timeout, so the three shares always sum to 100%. The section is
+// silent when the stream holds no overload events (closed-loop or
+// non-serving workloads).
+func writeOverload(w io.Writer, a *analysis) {
+	c := a.counters
+	completed, shed, timeout := c["ovl.completed"], c["ovl.shed"], c["ovl.timeout"]
+	offered := completed + shed + timeout
+	if offered == 0 {
+		return
+	}
+	retries := c["ovl.retry"]
+	amp := 1.0
+	if base := offered - retries; base > 0 {
+		amp = float64(offered) / float64(base)
+	}
+	pct := func(n int64) float64 { return 100 * float64(n) / float64(offered) }
+	fmt.Fprintf(w, "overload control (%d attempts offered, %d retries, retry amp %.2fx):\n",
+		offered, retries, amp)
+	goodput := "n/a (no run_summary in stream)"
+	if len(a.sums) > 0 && a.sums[0].RuntimeNS > 0 {
+		goodput = fmt.Sprintf("%.0f req/s", float64(completed)/(float64(a.sums[0].RuntimeNS)/1e9))
+	}
+	fmt.Fprintf(w, "  completed %d (%.1f%%)  shed %d (%.1f%%)  timeout %d (%.1f%%)  goodput %s\n",
+		completed, pct(completed), shed, pct(shed), timeout, pct(timeout), goodput)
+	causes := ""
+	for _, action := range []string{"shed_admission", "shed_full", "shed_codel", "timeout_queue", "timeout_served"} {
+		if n := c["ovl."+action]; n > 0 {
+			causes += fmt.Sprintf("  %s %d", action, n)
+		}
+	}
+	if causes != "" {
+		fmt.Fprintf(w, "  causes:%s\n", causes)
+	}
+	for _, class := range overloadClasses(c) {
+		comp, sh, to := c["ovl.completed."+class], c["ovl.shed."+class], c["ovl.timeout."+class]
+		if off := comp + sh + to; off > 0 {
+			fmt.Fprintf(w, "  class %-8s offered %d  completed %d (%.1f%%)  shed %d  timeout %d  retries %d\n",
+				class, off, comp, 100*float64(comp)/float64(off), sh, to, c["ovl.retry."+class])
+		}
+	}
+	fmt.Fprintln(w)
+}
+
+// overloadClasses extracts the request-class names present in the
+// per-class ovl.* counters, sorted for deterministic output.
+func overloadClasses(counters map[string]int64) []string {
+	seen := make(map[string]bool)
+	for _, prefix := range []string{"ovl.completed.", "ovl.shed.", "ovl.timeout.", "ovl.retry."} {
+		for name := range counters {
+			if len(name) > len(prefix) && name[:len(prefix)] == prefix {
+				seen[name[len(prefix):]] = true
+			}
+		}
+	}
+	classes := make([]string, 0, len(seen))
+	for class := range seen {
+		classes = append(classes, class)
+	}
+	sort.Strings(classes)
+	return classes
 }
 
 // writeCounters dumps a recomputed counter registry sorted by name.

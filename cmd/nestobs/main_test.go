@@ -173,6 +173,76 @@ func TestDiffGolden(t *testing.T) {
 	}
 }
 
+// fixtureOverload is a serving-run stream: base arrivals plus one
+// retry, each attempt terminal in exactly one outcome — 6 completed,
+// 2 shed (codel + full), 2 timed out (queued + served) across two
+// classes, with a run summary so goodput is computable.
+func fixtureOverload() []obs.Event {
+	ms := sim.Millisecond
+	pol := "codel:target=2ms,interval=8ms"
+	evs := []obs.Event{
+		obs.RunInfo{Machine: "test4", Scheduler: "nest", Governor: "schedutil", Workload: "overload/mix-1.5-codel", Scale: 1, Seed: 7},
+	}
+	for i := 0; i < 4; i++ {
+		evs = append(evs, obs.Overload{T: sim.Time(i+1) * ms, Action: "completed", Class: "web", Policy: pol, Sojourn: ms})
+	}
+	evs = append(evs,
+		obs.Overload{T: 5 * ms, Action: "completed", Class: "kv", Policy: pol, Sojourn: ms},
+		obs.Overload{T: 5 * ms, Action: "shed_codel", Class: "web", Policy: pol, Sojourn: 3 * ms},
+		obs.Overload{T: 5 * ms, Action: "retry", Class: "web", Policy: pol, Attempt: 1},
+		obs.Overload{T: 6 * ms, Action: "completed", Class: "web", Policy: pol, Attempt: 1, Sojourn: 2 * ms},
+		obs.Overload{T: 6 * ms, Action: "shed_full", Class: "kv", Policy: pol},
+		obs.Overload{T: 7 * ms, Action: "timeout_queue", Class: "web", Policy: pol, Sojourn: 10 * ms},
+		obs.Overload{T: 8 * ms, Action: "timeout_served", Class: "kv", Policy: pol, Sojourn: 11 * ms},
+		obs.RunSummary{Machine: "test4", Scheduler: "nest", Governor: "schedutil", Workload: "overload/mix-1.5-codel", Seed: 7,
+			RuntimeNS: int64(100 * ms), EnergyJ: 1.0, WakeP50: 1000, WakeP95: 2000, WakeP99: 3000, WakeP999: 4000, Wakeups: 10},
+	)
+	return evs
+}
+
+// TestReportOverloadSection pins the overload summary: 10 attempts (9
+// base + 1 retry), 60% completed, causes listed, per-class rows, and a
+// goodput computed against the summary's runtime.
+func TestReportOverloadSection(t *testing.T) {
+	a := analyze(roundTrip(t, fixtureOverload()))
+	var buf bytes.Buffer
+	writeReport(&buf, a)
+	out := buf.String()
+	for _, want := range []string{
+		"overload control (10 attempts offered, 1 retries, retry amp 1.11x):",
+		"completed 6 (60.0%)  shed 2 (20.0%)  timeout 2 (20.0%)  goodput 60 req/s",
+		"causes:  shed_full 1  shed_codel 1  timeout_queue 1  timeout_served 1",
+		"class kv       offered 3  completed 1 (33.3%)  shed 1  timeout 1  retries 0",
+		"class web      offered 7  completed 5 (71.4%)  shed 1  timeout 1  retries 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestReportOverloadNoSummary: without a run_summary the section still
+// renders, with goodput marked unavailable rather than wrong.
+func TestReportOverloadNoSummary(t *testing.T) {
+	evs := fixtureOverload()
+	evs = evs[:len(evs)-1] // drop the RunSummary
+	var buf bytes.Buffer
+	writeReport(&buf, analyze(roundTrip(t, evs)))
+	if !strings.Contains(buf.String(), "goodput n/a (no run_summary in stream)") {
+		t.Errorf("missing goodput fallback:\n%s", buf.String())
+	}
+}
+
+// TestReportOverloadSilentWhenAbsent: a stream with no overload events
+// must not render the section at all.
+func TestReportOverloadSilentWhenAbsent(t *testing.T) {
+	var buf bytes.Buffer
+	writeReport(&buf, analyze(roundTrip(t, fixtureNest())))
+	if strings.Contains(buf.String(), "overload control") {
+		t.Errorf("overload section rendered for a stream without overload events:\n%s", buf.String())
+	}
+}
+
 // TestReportDeterministic re-runs the same analysis twice and compares
 // bytes, guarding the map-iteration hazards (counters, grid rows).
 func TestReportDeterministic(t *testing.T) {

@@ -49,6 +49,8 @@ func main() {
 		compare      = flag.Bool("compare", false, "run the four paper configurations and print speedups")
 		traceMS      = flag.Int("trace", 0, "render an ASCII core trace of the first N milliseconds")
 		customPath   = flag.String("custom", "", "register a custom workload from a JSON spec file (see internal/workload.CustomSpec)")
+		arrivalTrace = flag.String("arrival-trace", "", "register an open-loop serving workload replaying a JSONL arrival trace ({\"t_ns\":...,\"class\":...} per line)")
+		admissionStr = flag.String("admission", "none", "admission policy for -arrival-trace: none, cap, token, codel, or a full spec like codel:target=2ms,interval=8ms")
 		chromeOut    = flag.String("chrometrace", "", "write a decision-annotated Chrome/Perfetto trace to this file (with -runs > 1, run N goes to <name>.runN.json)")
 		eventsOut    = flag.String("events", "", "stream decision events as JSONL to this file (first run only)")
 		seriesOut    = flag.String("series", "", "write sampled gauge time series as JSONL to this file (first run only; implies -sample-every 4ms if unset)")
@@ -77,6 +79,17 @@ func main() {
 		}
 		if *wlName == "configure/llvm_ninja" { // default: run the custom workload
 			*wlName = w.Name
+		}
+	}
+
+	if *arrivalTrace != "" {
+		name, err := registerArrivalTrace(*arrivalTrace, *admissionStr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "nestsim:", err)
+			os.Exit(1)
+		}
+		if *wlName == "configure/llvm_ninja" { // default: run the trace workload
+			*wlName = name
 		}
 	}
 
@@ -282,6 +295,28 @@ func runMain(rs experiments.RunSpec, runs, workers int, cellTO time.Duration, ch
 	return nil
 }
 
+// registerArrivalTrace loads a JSONL arrival trace and registers it as
+// an open-loop serving workload ("trace/<basename>") on the overload
+// reference pool under the given admission policy.
+func registerArrivalTrace(path, policy string) (string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return "", err
+	}
+	defer f.Close()
+	sp := &workload.ArrivalSpec{Path: path}
+	if err := sp.LoadTrace(f); err != nil {
+		return "", fmt.Errorf("%s: %w", path, err)
+	}
+	base := filepath.Base(path)
+	name := "trace/" + base[:len(base)-len(filepath.Ext(base))]
+	if err := workload.RegisterTraceWorkload(name, sp.Trace, policy); err != nil {
+		return "", err
+	}
+	fmt.Printf("registered %s: %d arrivals, admission %s\n", name, len(sp.Trace), policy)
+	return name, nil
+}
+
 // runFileName derives the per-run trace file name: run 1 keeps the name
 // as given, run N inserts ".runN" before the extension (trace.json →
 // trace.run2.json; no extension → trace.run2).
@@ -345,6 +380,12 @@ func printResults(rs experiments.RunSpec, results []*metrics.Result) {
 	c := r0.Counters
 	fmt.Printf("  forks %d  wakeups %d  ctxsw %d (cold %d)  migrations %d  balances %d  collisions %d  spinticks %d\n",
 		c.Forks, c.Wakeups, c.CtxSwitches, c.ColdSwitches, c.Migrations, c.LoadBalances, c.Collisions, c.SpinTicksTotal)
+	if offered := r0.Custom["ovl_offered"]; offered > 0 {
+		fmt.Printf("  overload     offered %.0f  goodput %.0f/s  shed %.1f%%  timeout %.1f%%  retry amp %.2f\n",
+			offered, r0.Custom["ovl_goodput"],
+			100*r0.Custom["ovl_shed"]/offered, 100*r0.Custom["ovl_timeout"]/offered,
+			r0.Custom["ovl_amp"])
+	}
 	fmt.Printf("  freq distribution (busy-core time):\n")
 	for i := range r0.FreqHist.Weight {
 		fmt.Printf("    %-16s %5.1f%%\n", r0.FreqHist.BucketLabel(i), 100*r0.FreqHist.Share(i))

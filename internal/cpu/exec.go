@@ -630,6 +630,9 @@ func (m *Machine) chanSend(ch *proc.Chan, t *proc.Task, c machine.CoreID) bool {
 		return true
 	}
 	ch.Queued++
+	if ch.Queued > ch.HighWater {
+		ch.HighWater = ch.Queued
+	}
 	if len(ch.Receivers) > 0 {
 		r := ch.Receivers[0]
 		ch.Receivers = ch.Receivers[1:]

@@ -1,0 +1,44 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func TestOverloadExperimentRegistered(t *testing.T) {
+	if _, err := ByID("overload"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestOverloadExperimentSmoke runs the overload grid small and checks
+// the report shape: one row per load x policy x scheduler, clean
+// invariants, and a parseable goodput column in every row.
+func TestOverloadExperimentSmoke(t *testing.T) {
+	e, err := ByID("overload")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := e.Run(Options{Scale: 0.02, Runs: 1, Machines: []string{"6130-2"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Sections) != 1 {
+		t.Fatalf("got %d sections", len(rep.Sections))
+	}
+	sec := rep.Sections[0]
+	want := len(workload.OverloadFactors) * len(workload.OverloadPolicies) * len(overloadConfigs)
+	if len(sec.Rows) != want {
+		t.Fatalf("got %d rows, want %d", len(sec.Rows), want)
+	}
+	for _, row := range sec.Rows {
+		if row[len(row)-1] != "0" { // violations column
+			t.Errorf("%s/%s/%s reported %s violations", row[0], row[1], row[2], row[len(row)-1])
+		}
+		if row[3] == "" || strings.HasPrefix(row[3], "0 ") {
+			t.Errorf("%s/%s/%s has no goodput: %q", row[0], row[1], row[2], row[3])
+		}
+	}
+}

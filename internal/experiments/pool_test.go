@@ -35,6 +35,20 @@ func smallGrid() []RunSpec {
 			}
 		}
 	}
+	// An overload cell rides along: MMPP arrivals, deadlines, retries and
+	// CoDel shedding all replay through the same byte-identity, journal
+	// and cancel tests as the classic workload above.
+	for _, faults := range []string{"", "off:c2@2ms+10ms"} {
+		for seed := uint64(1); seed <= 2; seed++ {
+			specs = append(specs, RunSpec{
+				Machine: "6130-2", Scheduler: "nest", Governor: "schedutil",
+				Workload: "overload/mix-1.5-codel", Scale: 0.01, Seed: seed,
+				Faults: faults,
+				Obs:    obs.New(),
+				Check:  invariant.New(),
+			})
+		}
+	}
 	return specs
 }
 

@@ -1,0 +1,51 @@
+package invariant_test
+
+import (
+	"testing"
+
+	"repro/internal/cfs"
+	"repro/internal/cpu"
+	"repro/internal/fault"
+	"repro/internal/governor"
+	"repro/internal/invariant"
+	"repro/internal/machine"
+	"repro/internal/workload"
+)
+
+// TestOverloadRunKeepsInvariants sweeps the full machine-state
+// invariants through an overload run with faults: MMPP bursts, client
+// retries, CoDel shedding, a core loss and a throttle window all at
+// once. The checker must stay clean and the request accounting must
+// conserve — every attempt terminal in exactly one outcome even while
+// cores disappear under the handler pool.
+func TestOverloadRunKeepsInvariants(t *testing.T) {
+	for _, plan := range []string{"", "off:c2@3ms+10ms,throttle:s0@2ms+10ms=1.8GHz"} {
+		w, err := workload.ByName("overload/mix-1.5-codel")
+		if err != nil {
+			t.Fatal(err)
+		}
+		chk := invariant.New()
+		m := cpu.New(cpu.Config{
+			Spec: machine.IntelXeon6130(2), Gov: governor.Schedutil{},
+			Policy: cfs.Default(), Seed: 5, Check: chk,
+		})
+		p, err := fault.Parse(plan)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.Apply(m)
+		w.Install(m, 0.02)
+		res := m.Run(0)
+		if res.Custom["truncated"] != 0 {
+			t.Fatalf("plan %q: run truncated", plan)
+		}
+		if n := chk.Total(); n != 0 {
+			t.Fatalf("plan %q: %d invariant violations, first: %v", plan, n, chk.Violations()[0])
+		}
+		offered := res.Custom["ovl_offered"]
+		settled := res.Custom["ovl_completed"] + res.Custom["ovl_timeout"] + res.Custom["ovl_shed"]
+		if offered == 0 || offered != settled {
+			t.Fatalf("plan %q: attempt conservation broken: offered %g, settled %g", plan, offered, settled)
+		}
+	}
+}

@@ -34,6 +34,7 @@ var decodable = map[string]func([]byte) (Event, error){
 	"fault":               dec[Fault],
 	"invariant_violation": dec[InvariantViolation],
 	"tick_balance":        dec[TickBalance],
+	"overload":            dec[Overload],
 	"core_gauge":          dec[CoreGauge],
 	"nest_gauge":          dec[NestGauge],
 	"socket_gauge":        dec[SocketGauge],

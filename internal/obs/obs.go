@@ -22,6 +22,7 @@
 package obs
 
 import (
+	"strings"
 	"sync/atomic"
 
 	"repro/internal/sim"
@@ -318,6 +319,49 @@ func (InvariantViolation) Kind() string { return "invariant_violation" }
 func (e InvariantViolation) count(c *Counters) {
 	c.Add("invariant.violation", 1)
 	c.Add("invariant."+e.Rule, 1)
+}
+
+// Overload is one overload-control action at an open-loop server's
+// request queue (see docs/ROBUSTNESS.md): Action is "completed"
+// (served within its deadline — Sojourn is the request latency),
+// "shed_admission" (rejected by the admission policy), "shed_full"
+// (bounded queue was full), "shed_codel" (sojourn-time drop at
+// dequeue), "timeout_queue" (deadline expired while queued),
+// "timeout_served" (served, but past its deadline — wasted work), or
+// "retry" (a client retry scheduled after backoff). Class names the
+// request class; Policy the admission policy in canonical form;
+// Attempt counts client tries (0 = first).
+type Overload struct {
+	T       sim.Time     `json:"t_ns"`
+	Action  string       `json:"action"`
+	Class   string       `json:"class"`
+	Policy  string       `json:"policy,omitempty"`
+	Attempt int          `json:"attempt,omitempty"`
+	Sojourn sim.Duration `json:"sojourn_ns,omitempty"`
+}
+
+// Kind implements Event.
+func (Overload) Kind() string { return "overload" }
+
+func (e Overload) count(c *Counters) {
+	switch {
+	case strings.HasPrefix(e.Action, "shed"):
+		c.Add("ovl.shed", 1)
+		c.Add("ovl.shed."+e.Class, 1)
+		c.Add("ovl."+e.Action, 1)
+	case strings.HasPrefix(e.Action, "timeout"):
+		c.Add("ovl.timeout", 1)
+		c.Add("ovl.timeout."+e.Class, 1)
+		c.Add("ovl."+e.Action, 1)
+	case e.Action == "retry":
+		c.Add("ovl.retry", 1)
+		c.Add("ovl.retry."+e.Class, 1)
+	case e.Action == "completed":
+		c.Add("ovl.completed", 1)
+		c.Add("ovl.completed."+e.Class, 1)
+	default:
+		c.Add("ovl."+e.Action, 1)
+	}
 }
 
 // TickBalance is a load-balance pull: Kind2 is "newidle" (idle-entry

@@ -258,6 +258,10 @@ type Chan struct {
 	Name     string
 	Capacity int
 	Queued   int
+	// HighWater is the largest queue depth the channel ever reached —
+	// pure measurement, maintained by the runtime, never read back into
+	// any scheduling or blocking decision.
+	HighWater int
 	// Senders and Receivers hold tasks blocked on this channel, FIFO.
 	Senders   []*Task
 	Receivers []*Task

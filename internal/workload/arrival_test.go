@@ -1,0 +1,229 @@
+package workload
+
+import (
+	"bytes"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestParseArrivalSpecRoundTrip(t *testing.T) {
+	for _, s := range []string{
+		"poisson:rate=2500/s",
+		"poisson:rate=0.5/s",
+		"mmpp:hi=100000/s,lo=2000/s,on=4ms,off=12ms",
+		"mmpp:hi=5000/s,lo=0/s,on=1ms,off=250us",
+		"diurnal:peak=80000/s,trough=1000/s,period=200ms",
+		"diurnal:peak=10/s,trough=0/s,period=2s",
+		"trace:arrivals.jsonl",
+	} {
+		sp, err := ParseArrivalSpec(s)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", s, err)
+		}
+		if got := sp.String(); got != s {
+			t.Errorf("canonical form of %q is %q", s, got)
+		}
+		sp2, err := ParseArrivalSpec(sp.String())
+		if err != nil || !reflect.DeepEqual(sp, sp2) {
+			t.Errorf("round trip of %q changed the spec: %+v != %+v (%v)", s, sp, sp2, err)
+		}
+	}
+}
+
+func TestParseArrivalSpecDefaults(t *testing.T) {
+	sp, err := ParseArrivalSpec("mmpp:hi=1000/s,lo=100/s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.On != 4*msec || sp.Off != 12*msec {
+		t.Errorf("mmpp dwell defaults: on=%v off=%v", sp.On, sp.Off)
+	}
+}
+
+func TestParseArrivalSpecRejects(t *testing.T) {
+	for _, s := range []string{
+		"",
+		"poisson",
+		"poisson:rate=10",           // missing /s
+		"poisson:rate=-1/s",         // negative
+		"poisson:rate=0/s",          // zero main rate
+		"poisson:rate=NaN/s",        // NaN
+		"poisson:rate=+Inf/s",       // Inf
+		"poisson:rate=2e9/s",        // above maxRate
+		"poisson:rate=1e-9/s",       // below minRate
+		"poisson:rate=1/s,rate=2/s", // duplicate key
+		"poisson:burst=1/s",         // unknown key
+		"mmpp:hi=100/s",             // missing lo
+		"mmpp:hi=10/s,lo=100/s",     // lo > hi
+		"mmpp:hi=1/s,lo=0/s,on=0ms", // non-positive dwell
+		"diurnal:peak=10/s,trough=20/s,period=1s", // trough > peak
+		"diurnal:peak=10/s,trough=1/s",            // missing period
+		"diurnal:peak=10/s,trough=1/s,period=2h",  // bad unit
+		"trace:",                                  // missing path
+		"trace:a,b",                               // path with comma
+		"uniform:rate=1/s",                        // unknown kind
+	} {
+		if _, err := ParseArrivalSpec(s); err == nil {
+			t.Errorf("Parse(%q) accepted", s)
+		}
+	}
+}
+
+func TestArrivalMeanRate(t *testing.T) {
+	cases := []struct {
+		spec string
+		want float64
+	}{
+		{"poisson:rate=1000/s", 1000},
+		// (4ms*2500 + 12ms*500) / 16ms = 1000
+		{"mmpp:hi=2500/s,lo=500/s,on=4ms,off=12ms", 1000},
+		{"diurnal:peak=1500/s,trough=500/s,period=100ms", 1000},
+	}
+	for _, c := range cases {
+		sp, err := ParseArrivalSpec(c.spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := sp.MeanRate(); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("%s: MeanRate = %g, want %g", c.spec, got, c.want)
+		}
+	}
+}
+
+// measureRate drives a source for n arrivals and returns the empirical
+// rate in requests per second.
+func measureRate(t *testing.T, src ArrivalSource, n int) float64 {
+	t.Helper()
+	r := sim.NewRand(42)
+	var total sim.Duration
+	for i := 0; i < n; i++ {
+		gap, _, ok := src.Next(r)
+		if !ok {
+			t.Fatal("source exhausted early")
+		}
+		if gap < 0 {
+			t.Fatal("negative gap")
+		}
+		total += gap
+	}
+	return float64(n) / total.Seconds()
+}
+
+func TestSourcesMatchMeanRate(t *testing.T) {
+	for _, spec := range []string{
+		"poisson:rate=50000/s",
+		"mmpp:hi=125000/s,lo=25000/s,on=4ms,off=12ms", // mean 50000/s
+		"diurnal:peak=90000/s,trough=10000/s,period=50ms",
+	} {
+		sp, err := ParseArrivalSpec(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		src, err := sp.Source()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := measureRate(t, src, 50000)
+		want := sp.MeanRate()
+		if math.Abs(got-want)/want > 0.1 {
+			t.Errorf("%s: empirical rate %.0f/s, want %.0f/s ±10%%", spec, got, want)
+		}
+	}
+}
+
+func TestMMPPBurstiness(t *testing.T) {
+	// An on/off process at the same mean as a Poisson process must show a
+	// higher coefficient of variation of interarrival gaps.
+	cv := func(spec string) float64 {
+		sp, _ := ParseArrivalSpec(spec)
+		src, err := sp.Source()
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := sim.NewRand(9)
+		var sum, sumSq float64
+		const n = 40000
+		for i := 0; i < n; i++ {
+			gap, _, _ := src.Next(r)
+			g := float64(gap)
+			sum += g
+			sumSq += g * g
+		}
+		mean := sum / n
+		return math.Sqrt(sumSq/n-mean*mean) / mean
+	}
+	pois := cv("poisson:rate=50000/s")
+	mmpp := cv("mmpp:hi=250000/s,lo=5000/s,on=2ms,off=8ms")
+	if mmpp <= pois*1.2 {
+		t.Errorf("MMPP cv %.2f not clearly burstier than Poisson cv %.2f", mmpp, pois)
+	}
+}
+
+func TestTraceRoundTripAndReplay(t *testing.T) {
+	entries := []TraceEntry{
+		{T: 0, Class: "web"},
+		{T: 1500, Class: "kv"},
+		{T: 1500}, // simultaneous, classless
+		{T: 2 * sim.Time(sim.Millisecond), Class: "script"},
+	}
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, entries); err != nil {
+		t.Fatal(err)
+	}
+	wire := buf.String()
+	if strings.Contains(wire, " ") || !strings.HasSuffix(wire, "\n") {
+		t.Errorf("trace wire form not compact JSONL: %q", wire)
+	}
+	sp := &ArrivalSpec{Path: "t.jsonl"}
+	if err := sp.LoadTrace(strings.NewReader(wire)); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(sp.Trace, entries) {
+		t.Fatalf("trace round trip changed entries: %+v", sp.Trace)
+	}
+	src, err := sp.Source()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var now sim.Time
+	for i, want := range entries {
+		gap, class, ok := src.Next(nil)
+		if !ok {
+			t.Fatalf("entry %d: source exhausted", i)
+		}
+		now += sim.Time(gap)
+		if now != want.T || class != want.Class {
+			t.Errorf("entry %d: replayed (t=%d, %q), want (t=%d, %q)", i, now, class, want.T, want.Class)
+		}
+	}
+	if _, _, ok := src.Next(nil); ok {
+		t.Error("finite trace did not exhaust")
+	}
+}
+
+func TestLoadTraceRejectsBadInput(t *testing.T) {
+	for name, wire := range map[string]string{
+		"not json":   "{\"t_ns\": }\n",
+		"regressing": "{\"t_ns\":100}\n{\"t_ns\":50}\n",
+		"negative":   "{\"t_ns\":-1}\n",
+	} {
+		sp := &ArrivalSpec{}
+		if err := sp.LoadTrace(strings.NewReader(wire)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestUnloadedTraceSourceFails(t *testing.T) {
+	sp, err := ParseArrivalSpec("trace:missing.jsonl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sp.Source(); err == nil {
+		t.Error("Source succeeded without loaded entries")
+	}
+}

@@ -31,6 +31,13 @@ type serverProfile struct {
 	// capacity instead of client-driven closed loops.
 	OpenLoop      bool
 	ArrivalFactor float64
+	// Arrival optionally overrides the derived Poisson arrival process
+	// with an explicit spec (see ParseArrivalSpec); it only applies to
+	// open-loop profiles. QueueDepth bounds the request queue (default
+	// 100_000 — effectively unbounded at paper request counts; arrivals
+	// that find it full are shed and counted).
+	Arrival    string
+	QueueDepth int
 	// Class labels the request class for SLO accounting ("web", "kv",
 	// "script"); SLO is the per-request service-latency target. Requests
 	// completing within SLO count toward the run's attainment customs
@@ -42,21 +49,23 @@ type serverProfile struct {
 func (p serverProfile) install(m *cpu.Machine, scale float64) {
 	reqs := scaleCount(p.Requests, scale, 50)
 	svc := jitterCycles(m, p.Service, p.CV)
-	perHandler := reqs / p.Handlers
-	if perHandler < 1 {
-		perHandler = 1
-	}
 	acc := &sloAccum{class: p.class(), slo: p.SLO}
 
 	if p.OpenLoop {
-		p.installOpenLoop(m, svc, perHandler, acc)
-		acc.finishOn(m, "server-main")
+		p.installOpenLoop(m, reqs, svc, acc)
 		return
 	}
 
-	// Closed loop: each handler serves its share back to back.
-	mkHandler := func() proc.Behavior {
-		left := perHandler
+	// Closed loop: each handler serves its share back to back. The share
+	// division leaves a remainder of reqs%Handlers requests; the first
+	// remainder handlers take one extra so exactly reqs are served.
+	perHandler := reqs / p.Handlers
+	remainder := reqs % p.Handlers
+	if perHandler < 1 && remainder == 0 {
+		perHandler = 1
+	}
+	mkHandler := func(extra int) proc.Behavior {
+		left := perHandler + extra
 		state := 0
 		reqStart := sim.Time(-1)
 		return func(t *proc.Task, r *sim.Rand) proc.Action {
@@ -87,7 +96,11 @@ func (p serverProfile) install(m *cpu.Machine, scale float64) {
 	}
 	var actions []proc.Action
 	for i := 0; i < p.Handlers; i++ {
-		actions = append(actions, proc.Fork{Name: fmt.Sprintf("handler-%d", i), Behavior: mkHandler()})
+		extra := 0
+		if i < remainder {
+			extra = 1
+		}
+		actions = append(actions, proc.Fork{Name: fmt.Sprintf("handler-%d", i), Behavior: mkHandler(extra)})
 	}
 	actions = append(actions, proc.WaitChildren{})
 	m.Spawn("server-main", proc.Script(actions...))
@@ -102,75 +115,60 @@ func (p serverProfile) class() string {
 	return p.Class
 }
 
-// installOpenLoop builds the queue-fed saturated shape.
-func (p serverProfile) installOpenLoop(m *cpu.Machine, svc func(*sim.Rand) int64, perHandler int, acc *sloAccum) {
-	queue := proc.NewChan("requests", 100_000)
-	total := perHandler * p.Handlers
+// defaultQueueDepth preserves the historic request-queue bound:
+// effectively unbounded at paper request counts, so the classic server
+// profiles shed nothing, while saturation is still observable through
+// the queue_hwm custom and the server.queue_full counter.
+const defaultQueueDepth = 100_000
 
-	mkHandler := func() proc.Behavior {
-		left := perHandler
-		state := 0
-		reqStart := sim.Time(-1)
-		return func(t *proc.Task, r *sim.Rand) proc.Action {
-			switch state {
-			case 0:
-				// Back at state 0: the previous request's compute is done.
-				if reqStart >= 0 {
-					acc.record(t.Now - reqStart)
-					reqStart = -1
-				}
-				if left == 0 {
-					return proc.Exit{}
-				}
-				left--
-				state = 1
-				return proc.Recv{Ch: queue}
-			default:
-				reqStart = t.Now
-				state = 0
-				return proc.Compute{Cycles: svc(r)}
-			}
-		}
+// installOpenLoop builds the queue-fed saturated shape on the shared
+// open-loop pool: an engine-driven arrival source (Poisson at
+// ArrivalFactor × pool capacity unless the profile names an explicit
+// Arrival spec) feeding the bounded request queue. No admission policy,
+// deadlines or retries: the classic profiles serve everything that fits
+// in the queue, exactly as the old feeder loop did, but the offered
+// load can no longer be throttled by the feeders' own scheduling.
+func (p serverProfile) installOpenLoop(m *cpu.Machine, reqs int, svc func(*sim.Rand) int64, acc *sloAccum) {
+	src := p.arrivalSource()
+	depth := p.QueueDepth
+	if depth <= 0 {
+		depth = defaultQueueDepth
 	}
+	installOpenLoopPool(m, openLoopCfg{
+		handlers:   p.Handlers,
+		total:      reqs,
+		queueDepth: depth,
+		src:        src,
+		adm:        admitAll{},
+		classes: []reqClass{{
+			name: p.class(), share: 1, svc: svc, slo: p.SLO, acc: acc,
+		}},
+	})
+}
 
-	// Several feeder tasks model the many client connections of a siege
-	// run; a single feeder would serialise arrivals behind its own
-	// wakeups and become the benchmark.
-	feeders := p.Handlers / 12
-	if feeders < 1 {
-		feeders = 1
+// arrivalSource derives the profile's arrival process: an explicit
+// Arrival spec when set, else Poisson at ArrivalFactor × the pool's
+// nominal capacity Handlers/(Service+Pause).
+func (p serverProfile) arrivalSource() ArrivalSource {
+	if p.Arrival != "" {
+		sp, err := ParseArrivalSpec(p.Arrival)
+		if err != nil {
+			panic(fmt.Sprintf("workload: bad arrival spec %q: %v", p.Arrival, err))
+		}
+		src, err := sp.Source()
+		if err != nil {
+			panic(fmt.Sprintf("workload: arrival spec %q: %v", p.Arrival, err))
+		}
+		return src
 	}
 	meanSvc := float64(p.Service + p.Pause)
-	interarrival := sim.Duration(meanSvc / float64(p.Handlers) / maxf(p.ArrivalFactor, 0.05))
-	// Round up so the feeders always send at least what the pool will
-	// consume; surplus messages are simply left in the queue.
-	perFeeder := (total + feeders - 1) / feeders
-	mkFeeder := func() proc.Behavior {
-		sent := 0
-		sleeping := false
-		return func(t *proc.Task, r *sim.Rand) proc.Action {
-			if sent >= perFeeder {
-				return proc.Exit{}
-			}
-			if !sleeping {
-				sleeping = true
-				sent++
-				return proc.Send{Ch: queue}
-			}
-			sleeping = false
-			return proc.Sleep{D: r.Exp(interarrival * sim.Duration(feeders))}
-		}
+	rate := maxf(p.ArrivalFactor, 0.05) * float64(p.Handlers) / meanSvc * float64(sim.Second)
+	sp := &ArrivalSpec{Kind: ArrPoisson, Rate: rate}
+	src, err := sp.Source()
+	if err != nil {
+		panic(fmt.Sprintf("workload: derived arrival rate invalid: %v", err))
 	}
-
-	var actions []proc.Action
-	for i := 0; i < p.Handlers; i++ {
-		actions = append(actions, proc.Fork{Name: fmt.Sprintf("handler-%d", i), Behavior: mkHandler()})
-	}
-	for i := 0; i < feeders; i++ {
-		actions = append(actions, proc.Fork{Name: fmt.Sprintf("client-%d", i), Behavior: mkFeeder()})
-	}
-	actions = append(actions, proc.WaitChildren{})
-	m.Spawn("server-main", proc.Script(actions...))
+	return src
 }
 
 // serverTests models the §5.6 server results on the 2-socket 6130:

@@ -19,6 +19,11 @@ type sloAccum struct {
 	slo   sim.Duration
 	hist  metrics.LatHist
 	ok    int64
+	// quiet suppresses the run-level customs (req_*, slo_ok, slo_pct):
+	// multi-class pools set it on every per-class accumulator and
+	// publish merged aggregates themselves, so classes don't clobber
+	// each other's customs. The per-class counters always publish.
+	quiet bool
 }
 
 func (a *sloAccum) record(d sim.Duration) {
@@ -37,17 +42,19 @@ func (a *sloAccum) finishOn(m *cpu.Machine, rootName string) {
 		if t.Name != rootName || a.hist.Count() == 0 {
 			return
 		}
-		res := m.Result()
-		tail := a.hist.Tail()
-		us := func(d sim.Duration) float64 { return float64(d) / float64(sim.Microsecond) }
-		res.SetCustom("req_total", float64(a.hist.Count()))
-		res.SetCustom("req_p50_us", us(tail.P50))
-		res.SetCustom("req_p95_us", us(tail.P95))
-		res.SetCustom("req_p99_us", us(tail.P99))
-		res.SetCustom("req_p999_us", us(tail.P999))
-		if a.slo > 0 {
-			res.SetCustom("slo_ok", float64(a.ok))
-			res.SetCustom("slo_pct", 100*float64(a.ok)/float64(a.hist.Count()))
+		if !a.quiet {
+			res := m.Result()
+			tail := a.hist.Tail()
+			us := func(d sim.Duration) float64 { return float64(d) / float64(sim.Microsecond) }
+			res.SetCustom("req_total", float64(a.hist.Count()))
+			res.SetCustom("req_p50_us", us(tail.P50))
+			res.SetCustom("req_p95_us", us(tail.P95))
+			res.SetCustom("req_p99_us", us(tail.P99))
+			res.SetCustom("req_p999_us", us(tail.P999))
+			if a.slo > 0 {
+				res.SetCustom("slo_ok", float64(a.ok))
+				res.SetCustom("slo_pct", 100*float64(a.ok)/float64(a.hist.Count()))
+			}
 		}
 		if h := m.Obs(); h != nil {
 			h.Count("slo."+a.class+".ok", a.ok)

@@ -41,6 +41,7 @@ func TestRegistryComplete(t *testing.T) {
 		"micro":       13,
 		"server":      9,
 		"multi":       1,
+		"overload":    13,
 	}
 	for suite, n := range want {
 		if counts[suite] != n {
