@@ -1,0 +1,176 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+)
+
+// diffMetrics is the default set of per-benchmark metrics compared by
+// `benchjson diff`: the wall cost, the allocation costs, and the
+// headline simulation-throughput cost. All are lower-is-better.
+const defaultDiffMetrics = "ns/op,B/op,allocs/op,ns/sim_s"
+
+// runDiff implements `benchjson diff`: parse a fresh `go test -bench`
+// text run, compare it per benchmark and metric against the tracked
+// JSON baseline, print the percentage deltas, and — when -threshold is
+// positive — exit non-zero if any compared metric regressed by more
+// than that percentage. With the default threshold of 0 the command is
+// advisory: it always exits 0, which is what CI's bench-smoke wants on
+// shared, noisy runners.
+func runDiff(args []string) {
+	fs := flag.NewFlagSet("diff", flag.ExitOnError)
+	var (
+		baseline  = fs.String("baseline", "BENCH_nest.json", "tracked baseline JSON to compare against")
+		in        = fs.String("in", "", "fresh `go test -bench` text output (default: stdin)")
+		metrics   = fs.String("metrics", defaultDiffMetrics, "comma-separated metrics to compare (all lower-is-better)")
+		threshold = fs.Float64("threshold", 0, "fail (exit 1) when any metric regresses by more than this percent; 0 = advisory")
+	)
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: benchjson diff [-baseline FILE] [-in FILE] [-metrics LIST] [-threshold PCT]")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		os.Exit(2)
+	}
+
+	bf, err := os.Open(*baseline)
+	if err != nil {
+		fatal(err)
+	}
+	defer bf.Close()
+	old, err := decodeBaseline(bf)
+	if err != nil {
+		fatal(fmt.Errorf("%s: %w", *baseline, err))
+	}
+
+	r := io.Reader(os.Stdin)
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		r = f
+	}
+	fresh, err := Parse(r)
+	if err != nil {
+		fatal(err)
+	}
+
+	report, regressed := Diff(old, fresh, splitMetrics(*metrics), *threshold)
+	fmt.Print(report)
+	if *threshold > 0 && regressed {
+		os.Exit(1)
+	}
+}
+
+func decodeBaseline(r io.Reader) (*Baseline, error) {
+	var b Baseline
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&b); err != nil {
+		return nil, err
+	}
+	if len(b.Benchmarks) == 0 {
+		return nil, fmt.Errorf("baseline holds no benchmarks")
+	}
+	return &b, nil
+}
+
+func splitMetrics(s string) []string {
+	var out []string
+	for _, m := range strings.Split(s, ",") {
+		if m = strings.TrimSpace(m); m != "" {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// benchKey normalises a benchmark name for matching across runs: the
+// -N GOMAXPROCS suffix varies with the runner, so it is stripped.
+func benchKey(pkg, name string) string {
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		if n := name[i+1:]; n != "" && strings.Trim(n, "0123456789") == "" {
+			name = name[:i]
+		}
+	}
+	return pkg + "\x00" + name
+}
+
+// Diff renders the per-benchmark metric deltas of fresh vs old and
+// reports whether any compared metric regressed (grew) by more than
+// threshold percent. Benchmarks or metrics present on only one side are
+// listed but never count as regressions — a renamed benchmark should
+// not break CI silently pretending to be a slowdown.
+func Diff(old, fresh *Baseline, metrics []string, threshold float64) (string, bool) {
+	oldBy := map[string]Benchmark{}
+	for _, b := range old.Benchmarks {
+		oldBy[benchKey(b.Pkg, b.Name)] = b
+	}
+	freshBy := map[string]Benchmark{}
+	for _, b := range fresh.Benchmarks {
+		freshBy[benchKey(b.Pkg, b.Name)] = b
+	}
+
+	var sb strings.Builder
+	regressed := false
+	fmt.Fprintf(&sb, "%-44s %-10s %14s %14s %9s\n", "benchmark", "metric", "old", "new", "delta")
+	for _, b := range fresh.Benchmarks {
+		key := benchKey(b.Pkg, b.Name)
+		o, ok := oldBy[key]
+		if !ok {
+			fmt.Fprintf(&sb, "%-44s (not in baseline)\n", shortName(b))
+			continue
+		}
+		for _, m := range metrics {
+			nv, okN := b.Metrics[m]
+			ov, okO := o.Metrics[m]
+			if !okN || !okO {
+				continue
+			}
+			var pct float64
+			switch {
+			case ov == 0 && nv == 0:
+				pct = 0
+			case ov == 0:
+				pct = 100 // from zero to anything: report as +100%
+			default:
+				pct = (nv - ov) / ov * 100
+			}
+			mark := ""
+			if threshold > 0 && pct > threshold {
+				mark = "  REGRESSED"
+				regressed = true
+			}
+			fmt.Fprintf(&sb, "%-44s %-10s %14.0f %14.0f %+8.1f%%%s\n", shortName(b), m, ov, nv, pct, mark)
+		}
+	}
+	var missing []string
+	for _, b := range old.Benchmarks {
+		if _, ok := freshBy[benchKey(b.Pkg, b.Name)]; !ok {
+			missing = append(missing, shortName(b))
+		}
+	}
+	sort.Strings(missing)
+	for _, name := range missing {
+		fmt.Fprintf(&sb, "%-44s (missing from this run)\n", name)
+	}
+	return sb.String(), regressed
+}
+
+// shortName renders "lastPkgElem.BenchName" for table rows.
+func shortName(b Benchmark) string {
+	pkg := b.Pkg
+	if i := strings.LastIndexByte(pkg, '/'); i >= 0 {
+		pkg = pkg[i+1:]
+	}
+	if pkg == "" {
+		return b.Name
+	}
+	return pkg + "." + b.Name
+}

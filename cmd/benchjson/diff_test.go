@@ -1,0 +1,116 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func mkBaseline(benchmarks ...Benchmark) *Baseline {
+	return &Baseline{Goos: "linux", Goarch: "amd64", Benchmarks: benchmarks}
+}
+
+func bench(pkg, name string, metrics map[string]float64) Benchmark {
+	return Benchmark{Pkg: pkg, Name: name, Iterations: 3, Metrics: metrics}
+}
+
+func TestDiffReportsDeltas(t *testing.T) {
+	old := mkBaseline(
+		bench("repro/internal/cpu", "BenchmarkRuntimeNest", map[string]float64{
+			"ns/op": 1000, "allocs/op": 200, "ns/sim_s": 10000,
+		}),
+	)
+	fresh := mkBaseline(
+		bench("repro/internal/cpu", "BenchmarkRuntimeNest", map[string]float64{
+			"ns/op": 500, "allocs/op": 100, "ns/sim_s": 5000,
+		}),
+	)
+	report, regressed := Diff(old, fresh, splitMetrics(defaultDiffMetrics), 0)
+	if regressed {
+		t.Fatal("improvement flagged as regression")
+	}
+	for _, want := range []string{"cpu.BenchmarkRuntimeNest", "ns/op", "-50.0%", "ns/sim_s"} {
+		if !strings.Contains(report, want) {
+			t.Errorf("report missing %q:\n%s", want, report)
+		}
+	}
+}
+
+func TestDiffThreshold(t *testing.T) {
+	old := mkBaseline(bench("p", "BenchmarkX", map[string]float64{"ns/op": 1000}))
+	slower := mkBaseline(bench("p", "BenchmarkX", map[string]float64{"ns/op": 1200}))
+
+	// Advisory (threshold 0): a 20% regression never trips.
+	if _, regressed := Diff(old, slower, []string{"ns/op"}, 0); regressed {
+		t.Error("threshold 0 must be advisory")
+	}
+	// 10% threshold: 20% regression trips and is marked.
+	report, regressed := Diff(old, slower, []string{"ns/op"}, 10)
+	if !regressed {
+		t.Error("20%% regression above 10%% threshold not flagged")
+	}
+	if !strings.Contains(report, "REGRESSED") {
+		t.Errorf("report does not mark the regression:\n%s", report)
+	}
+	// 30% threshold: 20% regression passes.
+	if _, regressed := Diff(old, slower, []string{"ns/op"}, 30); regressed {
+		t.Error("20%% regression flagged despite 30%% threshold")
+	}
+}
+
+func TestDiffHandlesMissingAndNew(t *testing.T) {
+	old := mkBaseline(
+		bench("p", "BenchmarkGone", map[string]float64{"ns/op": 10}),
+		bench("p", "BenchmarkKept", map[string]float64{"ns/op": 10}),
+	)
+	fresh := mkBaseline(
+		bench("p", "BenchmarkKept", map[string]float64{"ns/op": 10}),
+		bench("p", "BenchmarkNew", map[string]float64{"ns/op": 10}),
+	)
+	report, regressed := Diff(old, fresh, []string{"ns/op"}, 5)
+	if regressed {
+		t.Error("membership changes must not count as regressions")
+	}
+	if !strings.Contains(report, "(missing from this run)") {
+		t.Errorf("missing benchmark not reported:\n%s", report)
+	}
+	if !strings.Contains(report, "(not in baseline)") {
+		t.Errorf("new benchmark not reported:\n%s", report)
+	}
+}
+
+func TestDiffMatchesAcrossGomaxprocsSuffix(t *testing.T) {
+	old := mkBaseline(bench("p", "BenchmarkX", map[string]float64{"ns/op": 100}))
+	fresh := mkBaseline(bench("p", "BenchmarkX-8", map[string]float64{"ns/op": 90}))
+	report, _ := Diff(old, fresh, []string{"ns/op"}, 0)
+	if strings.Contains(report, "not in baseline") {
+		t.Errorf("-8 suffix broke matching:\n%s", report)
+	}
+	if !strings.Contains(report, "-10.0%") {
+		t.Errorf("delta not computed across suffix:\n%s", report)
+	}
+}
+
+func TestDiffParsesFreshTextAgainstJSONBaseline(t *testing.T) {
+	// End-to-end through the same parsers the subcommand uses.
+	fresh, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	old, err := decodeBaseline(strings.NewReader(`{
+		"benchmarks": [
+			{"pkg": "repro/internal/cpu", "name": "BenchmarkRuntimeNest",
+			 "iterations": 3,
+			 "metrics": {"ns/op": 14550938, "allocs/op": 73268}}
+		]
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, regressed := Diff(old, fresh, splitMetrics(defaultDiffMetrics), 50)
+	if regressed {
+		t.Errorf("halved metrics flagged as regression:\n%s", report)
+	}
+	if !strings.Contains(report, "-50.0%") {
+		t.Errorf("expected -50%% deltas:\n%s", report)
+	}
+}

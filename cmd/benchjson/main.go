@@ -6,11 +6,18 @@
 //
 //	go test -bench . -benchmem ./... | benchjson > BENCH_nest.json
 //	benchjson -in bench.txt -out BENCH_nest.json
+//	go test -bench . -benchmem ./... | benchjson diff -baseline BENCH_nest.json
 //
 // Benchmarks are keyed by (package, name) and sorted, so the output is
 // byte-stable for identical measurements and diffs cleanly across runs.
 // The tool fails if the input contains no benchmark lines at all —
 // catching a silently broken bench invocation in CI.
+//
+// The diff subcommand compares a fresh bench run against the tracked
+// baseline and prints per-benchmark percentage deltas for ns/op, B/op,
+// allocs/op and ns/sim_s. By default it is advisory (always exits 0);
+// with -threshold N it exits non-zero when any compared metric
+// regressed by more than N percent.
 package main
 
 import (
@@ -45,6 +52,10 @@ type Baseline struct {
 }
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "diff" {
+		runDiff(os.Args[2:])
+		return
+	}
 	var (
 		in  = flag.String("in", "", "input file (default: stdin)")
 		out = flag.String("out", "", "output file (default: stdout)")

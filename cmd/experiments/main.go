@@ -33,6 +33,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/machine"
 	"repro/internal/obs"
+	"repro/internal/profiling"
 )
 
 func main() {
@@ -54,8 +55,17 @@ func run() int {
 		journal  = flag.String("journal", "", "record each completed cell to this checkpoint journal")
 		resume   = flag.Bool("resume", false, "skip cells already recorded in -journal (requires -journal)")
 		cellTO   = flag.Duration("cell-timeout", 0, "per-cell wall-clock budget (0 = derive from scale, -1ns = no watchdog)")
+		cpuProf  = flag.String("cpuprofile", "", "write a pprof CPU profile of the whole grid to this file")
+		memProf  = flag.String("memprofile", "", "write a pprof allocation profile to this file at exit")
 	)
 	flag.Parse()
+
+	profStop, err := profiling.Start(*cpuProf, *memProf)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		return 1
+	}
+	defer profStop()
 
 	if *list || *runID == "" {
 		titles := experiments.Titles()

@@ -31,6 +31,7 @@ import (
 	"repro/internal/machine"
 	"repro/internal/metrics"
 	"repro/internal/obs"
+	"repro/internal/profiling"
 	"repro/internal/sim"
 	"repro/internal/textplot"
 	"repro/internal/workload"
@@ -62,8 +63,17 @@ func main() {
 		invariantsOn = flag.Bool("invariants", false, "sweep scheduler invariants after every event (first run only); exit non-zero on any violation")
 		parallel     = flag.Int("parallel", 1, "workers for repeat mode: 1 = serial, -1 = GOMAXPROCS (results are byte-identical either way)")
 		cellTO       = flag.Duration("cell-timeout", 0, "per-run wall-clock budget (0 = derive from scale, -1ns = no watchdog)")
+		cpuProf      = flag.String("cpuprofile", "", "write a pprof CPU profile of the runs to this file")
+		memProf      = flag.String("memprofile", "", "write a pprof allocation profile to this file at exit")
 	)
 	flag.Parse()
+
+	profStop, err := profiling.Start(*cpuProf, *memProf)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nestsim:", err)
+		os.Exit(1)
+	}
+	defer profStop()
 
 	if *customPath != "" {
 		f, err := os.Open(*customPath)

@@ -128,6 +128,12 @@ type Config struct {
 	// keeps all instrumentation on the allocation-free fast path.
 	Obs *obs.Hub
 
+	// Engine, when non-nil, supplies the event engine instead of the
+	// default sim.NewEngine(). The differential tests inject
+	// sim.NewEngineHeap() here to run the pre-wheel heap oracle side by
+	// side with the wheel engine; both must produce byte-identical runs.
+	Engine *sim.Engine
+
 	// Check, when non-nil, is bound to the machine and run after every
 	// simulation event (sim.Engine.OnStep), validating the structural
 	// invariants of internal/invariant. It costs a full machine sweep
@@ -174,24 +180,14 @@ func (c *Config) fillDefaults() {
 }
 
 // coreState is the runtime state of one hardware thread.
+//
+// Field order is deliberate: the turbo-budget activity scan
+// (activePhysOnSocket) reads cur, spinUntil and lastActive from every
+// core of a socket on every dispatch, so those sit together in the
+// struct's first cache line.
 type coreState struct {
-	id    machine.CoreID
-	cur   *proc.Task
-	queue []*proc.Task
-
-	util pelt.Signal
-
-	// hwUtil is the hardware's own short-horizon activity estimate
-	// (HWP), which drives the Speed Shift frequency grant.
-	hwUtil pelt.Signal
-
-	// claimed marks an in-flight placement (§3.4's run-queue flag).
-	claimed bool
-
-	// offline marks a core taken down by fault injection (hotplug). An
-	// offline core runs nothing, queues nothing, and redirects any
-	// placement that was already in flight toward it.
-	offline bool
+	id  machine.CoreID
+	cur *proc.Task
 
 	// spinUntil > now means the idle loop is spinning to keep the core
 	// warm (§3.2).
@@ -201,10 +197,32 @@ type coreState struct {
 	// the hardware's windowed active-core count.
 	lastActive sim.Time
 
+	// claimed marks an in-flight placement (§3.4's run-queue flag).
+	claimed bool
+
+	// offline marks a core taken down by fault injection (hotplug). An
+	// offline core runs nothing, queues nothing, and redirects any
+	// placement that was already in flight toward it.
+	offline bool
+
+	queue []*proc.Task
+
+	util pelt.Signal
+
+	// hwUtil is the hardware's own short-horizon activity estimate
+	// (HWP), which drives the Speed Shift frequency grant.
+	hwUtil pelt.Signal
+
 	idleSince    sim.Time
 	curStart     sim.Time
 	progressMark sim.Time
-	completion   *sim.Event
+
+	// completion is the core's reusable completion-event handle, armed in
+	// place (sim.Engine.Arm) with the core's own comp runner — the
+	// re-arm-on-every-speed-change churn of a busy core allocates
+	// nothing.
+	completion sim.Event
+	comp       completionRunner
 
 	// icache is a ring of recently executed task IDs; switching to a
 	// task outside it pays the cold-switch penalty.
@@ -244,20 +262,37 @@ type Machine struct {
 	maxRunnable int
 	tickIndex   int
 
+	// queuedTasks counts tasks sitting in run queues (curRunnable minus
+	// the running ones), maintained at every queue mutation. The balance
+	// scans (findBusiest, findBusiestOnDie, balancePass) early-out on it:
+	// when no core has a waiter the answer is always "none", and in
+	// lightly loaded runs that skips an O(cores) sweep on every idle
+	// entry and balance tick.
+	queuedTasks int
+
 	// Per-tick scratch, allocated once.
 	physActive []bool
 	sockActive []int
 	sockMaxF   []machine.FreqMHz
 
-	// physMark/physGen are generation-stamped scratch for counting the
-	// active physical cores of one socket on the boost path; bumping the
-	// generation replaces clearing the buffer.
-	physMark []uint64
-	physGen  uint64
+	// physOf caches each core's physical-core index (Topology.Core(c)
+	// copies the whole descriptor, too heavy for the per-dispatch
+	// activity scans). sibOf and sockOf cache the SMT sibling and
+	// socket the same way for the dispatch path; physReps holds one
+	// representative hardware thread per physical core, per socket, so
+	// the turbo-budget activity scan visits each physical core once
+	// (its sibling only when the representative is idle).
+	physOf   []int
+	sibOf    []machine.CoreID
+	sockOf   []int
+	physReps [][]machine.CoreID
 
-	// tickFn is m.tick bound once, so re-arming the tick does not
-	// allocate a fresh method value every period.
-	tickFn func()
+	// tickRun is the machine's tick runner; posting &m.tickRun re-arms
+	// the tick without allocating anything per period.
+	tickRun tickRunner
+
+	// recFree heads the pooled event-record free-list (events.go).
+	recFree *evRec
 
 	// sockLoads / sockRunning are per-socket statistics cached at the
 	// last tick, the stale domain statistics CFS placement consults.
@@ -304,9 +339,13 @@ func New(cfg Config) *Machine {
 	if cfg.Spec == nil || cfg.Gov == nil || cfg.Policy == nil {
 		panic("cpu: Config needs Spec, Gov and Policy")
 	}
+	eng := cfg.Engine
+	if eng == nil {
+		eng = sim.NewEngine()
+	}
 	m := &Machine{
 		cfg:    cfg,
-		eng:    sim.NewEngine(),
+		eng:    eng,
 		spec:   cfg.Spec,
 		topo:   cfg.Spec.Topo,
 		gov:    cfg.Gov,
@@ -322,10 +361,32 @@ func New(cfg Config) *Machine {
 		m.cores[i].id = machine.CoreID(i)
 		m.cores[i].lastActive = -sim.Second // long before the run starts
 		m.cores[i].hwUtil = pelt.WithHalfLife(2 * sim.Millisecond)
+		// The comp runner's pointer identity is stable: m.cores is sized
+		// once and never reallocated.
+		m.cores[i].comp = completionRunner{m: m, c: machine.CoreID(i)}
 	}
 	m.physActive = make([]bool, m.topo.NumPhysical())
-	m.physMark = make([]uint64, m.topo.NumPhysical())
-	m.tickFn = m.tick
+	m.physOf = make([]int, len(m.cores))
+	m.sibOf = make([]machine.CoreID, len(m.cores))
+	m.sockOf = make([]int, len(m.cores))
+	for i := range m.cores {
+		c := m.topo.Core(machine.CoreID(i))
+		m.physOf[i] = c.Physical
+		m.sibOf[i] = c.Sibling
+		m.sockOf[i] = c.Socket
+	}
+	m.physReps = make([][]machine.CoreID, m.topo.NumSockets())
+	seen := make([]bool, m.topo.NumPhysical())
+	for s := 0; s < m.topo.NumSockets(); s++ {
+		m.physReps[s] = make([]machine.CoreID, 0, m.topo.PhysPerSocket())
+		for _, c := range m.topo.SocketCores(s) {
+			if p := m.physOf[c]; !seen[p] {
+				seen[p] = true
+				m.physReps[s] = append(m.physReps[s], c)
+			}
+		}
+	}
+	m.tickRun = tickRunner{m: m}
 	m.sockActive = make([]int, m.topo.NumSockets())
 	m.sockMaxF = make([]machine.FreqMHz, m.topo.NumSockets())
 	m.sockLoads = make([]float64, m.topo.NumSockets())
@@ -425,7 +486,7 @@ func (m *Machine) newTask(name string, b proc.Behavior, parent *proc.Task) *proc
 func (m *Machine) Run(limit sim.Time) *metrics.Result {
 	if !m.started {
 		m.started = true
-		m.eng.PostAfter(sim.Tick, m.tickFn)
+		m.eng.PostRunAfter(sim.Tick, &m.tickRun)
 	}
 	m.eng.RunUntil(func() bool {
 		if m.liveTasks == 0 {

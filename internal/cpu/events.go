@@ -1,0 +1,116 @@
+package cpu
+
+// Pooled engine-event records. The runtime's hot scheduling paths —
+// enqueue-after-placement, sleep timers, spin expiries, barrier releases
+// and wake storms, smove migration timers — post preallocated
+// sim.Runner receivers drawn from a per-machine free-list instead of
+// constructing a fresh closure per event, so the steady-state event path
+// performs no allocation (see docs/PERFORMANCE.md). The records are
+// only ever touched from engine context, which keeps the pool inside
+// the engine's single-goroutine contract.
+
+import (
+	"repro/internal/machine"
+	"repro/internal/proc"
+	"repro/internal/sim"
+)
+
+// evKind selects which runtime action a pooled record performs when it
+// fires.
+type evKind uint8
+
+const (
+	evEnqueue evKind = iota // placement latency elapsed: enqueue task on core
+	evTimerWake             // sleep timer expiry for task
+	evSpinExpire            // idle-spin window for core ended at until
+	evSpinRelease           // barrier release of an active-waiting task
+	evBarrierWake           // futex-style barrier wakeup of task via waker core
+	evSmoveTimer            // smove migration timer: move task to core if still queued
+)
+
+// evRec is one pooled fire-and-forget event. A record is taken from the
+// machine's free-list when posted and returned the moment it fires, so
+// the pool's high-water mark is the peak number of such events in
+// flight, not the event rate.
+type evRec struct {
+	m     *Machine
+	kind  evKind
+	task  *proc.Task
+	core  machine.CoreID
+	until sim.Time
+	next  *evRec // free-list link
+}
+
+// rec takes a record from the pool.
+func (m *Machine) rec(kind evKind) *evRec {
+	r := m.recFree
+	if r == nil {
+		r = &evRec{m: m}
+	} else {
+		m.recFree = r.next
+		r.next = nil
+	}
+	r.kind = kind
+	return r
+}
+
+// recycle clears a fired record and returns it to the pool.
+func (m *Machine) recycle(r *evRec) {
+	r.kind = 0
+	r.task = nil
+	r.core = 0
+	r.until = 0
+	r.next = m.recFree
+	m.recFree = r
+}
+
+// RunAt implements sim.Runner. The record is recycled before the action
+// runs: the action may post new events, and those may legitimately want
+// this same record back from the pool.
+func (r *evRec) RunAt(now sim.Time) {
+	m, kind, task, core, until := r.m, r.kind, r.task, r.core, r.until
+	m.recycle(r)
+	switch kind {
+	case evEnqueue:
+		if m.inFlight != nil {
+			m.inFlight[task.ID]--
+		}
+		m.enqueue(task, core)
+	case evTimerWake:
+		m.timerWake(task)
+	case evSpinExpire:
+		st := &m.cores[core]
+		if st.cur == nil && st.spinUntil == until && now >= until {
+			st.util.SetLevel(now, 0)
+			st.hwUtil.SetLevel(now, 0)
+		}
+	case evSpinRelease:
+		m.releaseSpinner(task)
+	case evBarrierWake:
+		if task.State == proc.StateBlocked {
+			m.placeWakeup(task, core, false)
+		}
+	case evSmoveTimer:
+		m.smoveIfStillQueued(task, core)
+	}
+}
+
+// completionRunner is the per-core receiver for completion events: each
+// core owns one, armed in place through the core's reusable
+// coreState.completion handle, so the (re)arm-per-speed-change churn of
+// busy cores allocates nothing.
+type completionRunner struct {
+	m *Machine
+	c machine.CoreID
+}
+
+// RunAt implements sim.Runner.
+func (r *completionRunner) RunAt(now sim.Time) { r.m.onComplete(r.c) }
+
+// tickRunner is the machine's periodic-tick receiver.
+type tickRunner struct {
+	m *Machine
+}
+
+// RunAt implements sim.Runner.
+func (r *tickRunner) RunAt(now sim.Time) { r.m.tick() }

@@ -73,12 +73,10 @@ func (m *Machine) dispatch(t *proc.Task, target machine.CoreID) {
 	if m.inFlight != nil {
 		m.inFlight[t.ID]++
 	}
-	m.eng.PostAfter(delay, func() {
-		if m.inFlight != nil {
-			m.inFlight[t.ID]--
-		}
-		m.enqueue(t, target)
-	})
+	r := m.rec(evEnqueue)
+	r.task = t
+	r.core = target
+	m.eng.PostRunAfter(delay, r)
 }
 
 // enqueue adds t to target's run queue and starts it if the core is idle.
@@ -100,6 +98,7 @@ func (m *Machine) enqueue(t *proc.Task, target machine.CoreID) {
 	t.LastWoken = now
 	t.EnqueuedAt = now
 	cs.queue = append(cs.queue, t)
+	m.queuedTasks++
 	m.curRunnable++
 	if m.curRunnable > m.maxRunnable {
 		m.maxRunnable = m.curRunnable
@@ -132,10 +131,11 @@ func (m *Machine) scheduleIn(c machine.CoreID) {
 	}
 	t := cs.queue[best]
 	cs.queue = append(cs.queue[:best], cs.queue[best+1:]...)
+	m.queuedTasks--
 
 	// Book the sibling's progress at its pre-contention rate before this
 	// thread starts competing for the shared pipeline.
-	if sib := m.topo.Sibling(c); sib != c && m.cores[sib].cur != nil {
+	if sib := m.sibOf[c]; sib != c && m.cores[sib].cur != nil {
 		m.accountProgress(sib)
 	}
 
@@ -188,12 +188,12 @@ func (m *Machine) scheduleIn(c machine.CoreID) {
 	// tick and ramps part-way toward the granted frequency.
 	cs.lastActive = now
 	req := m.gov.Request(m.spec, cs.util.Value(now), true)
-	m.fm.Boost(c, req, m.activePhysOnSocket(m.topo.Socket(c), now), cs.hwUtil.Value(now))
+	m.fm.Boost(c, req, m.activePhysOnSocket(m.sockOf[c], now), cs.hwUtil.Value(now))
 
 	// A running task appearing on this hardware thread stops the
 	// sibling's idle spin (§3.2) and slows the sibling's execution (SMT
 	// pipeline sharing), so its completion must be re-armed.
-	sib := m.topo.Sibling(c)
+	sib := m.sibOf[c]
 	if sib != c {
 		ss := &m.cores[sib]
 		if ss.cur == nil && ss.spinUntil > now {
@@ -214,7 +214,7 @@ func (m *Machine) scheduleIn(c machine.CoreID) {
 // hardware threads share one physical core's pipeline).
 func (m *Machine) effMHz(c machine.CoreID) machine.FreqMHz {
 	f := m.fm.Cur(c)
-	sib := m.topo.Sibling(c)
+	sib := m.sibOf[c]
 	if sib != c && m.cores[sib].cur != nil {
 		f = machine.FreqMHz(float64(f) * m.cfg.SMTFactor)
 	}
@@ -255,11 +255,7 @@ func (m *Machine) scheduleCompletion(c machine.CoreID) {
 		return
 	}
 	d := proc.TimeFor(t.Remaining, m.effMHz(c))
-	if cs.completion != nil && cs.completion.Scheduled() {
-		m.eng.Reschedule(cs.completion, m.eng.Now()+d, func() { m.onComplete(c) })
-	} else {
-		cs.completion = m.eng.After(d, func() { m.onComplete(c) })
-	}
+	m.eng.ArmAfter(&cs.completion, d, &cs.comp)
 }
 
 func (m *Machine) onComplete(c machine.CoreID) {
@@ -297,7 +293,9 @@ func (m *Machine) advance(t *proc.Task, c machine.CoreID) {
 			if d < 0 {
 				d = 0
 			}
-			m.eng.PostAfter(d, func() { m.timerWake(t) })
+			r := m.rec(evTimerWake)
+			r.task = t
+			m.eng.PostRunAfter(d, r)
 			return
 		case proc.Fork:
 			child := m.newTask(act.Name, act.Behavior, t)
@@ -355,12 +353,10 @@ func (m *Machine) taskLeaves(t *proc.Task, c machine.CoreID, st proc.State) {
 	m.accountProgress(c)
 	m.recordSlice(t, c, cs.curStart, now)
 	t.LastRan = now
-	if sib := m.topo.Sibling(c); sib != c && m.cores[sib].cur != nil {
+	if sib := m.sibOf[c]; sib != c && m.cores[sib].cur != nil {
 		m.accountProgress(sib) // at the contended rate, before c frees up
 	}
-	if cs.completion != nil {
-		m.eng.Cancel(cs.completion)
-	}
+	m.eng.Cancel(&cs.completion)
 	cs.cur = nil
 	t.State = st
 	t.Cur = proc.NoCore
@@ -381,12 +377,10 @@ func (m *Machine) exit(t *proc.Task, c machine.CoreID) {
 	m.accountProgress(c)
 	m.recordSlice(t, c, cs.curStart, now)
 	t.LastRan = now
-	if sib := m.topo.Sibling(c); sib != c && m.cores[sib].cur != nil {
+	if sib := m.sibOf[c]; sib != c && m.cores[sib].cur != nil {
 		m.accountProgress(sib) // at the contended rate, before c frees up
 	}
-	if cs.completion != nil {
-		m.eng.Cancel(cs.completion)
-	}
+	m.eng.Cancel(&cs.completion)
 	cs.cur = nil
 	t.State = proc.StateExited
 	t.Cur = proc.NoCore
@@ -435,7 +429,7 @@ func (m *Machine) recordSlice(t *proc.Task, c machine.CoreID, start, end sim.Tim
 // this thread's busy state changed (its progress up to now was already
 // booked at the old rate by the caller).
 func (m *Machine) siblingSpeedChange(c machine.CoreID) {
-	sib := m.topo.Sibling(c)
+	sib := m.sibOf[c]
 	if sib == c {
 		return
 	}
@@ -461,6 +455,7 @@ func (m *Machine) pickNext(c machine.CoreID) {
 		vs := &m.cores[victim]
 		if t, idx := m.coldestWaiter(vs); t != nil {
 			vs.queue = append(vs.queue[:idx], vs.queue[idx+1:]...)
+			m.queuedTasks--
 			m.curRunnable--
 			m.res.Counters.LoadBalances++
 			if h := m.obs; h.Enabled() {
@@ -495,14 +490,10 @@ func (m *Machine) startSpin(c machine.CoreID, d sim.Duration, level float64) {
 	cs.spinUntil = now + d
 	cs.util.SetLevel(now, level)
 	cs.hwUtil.SetLevel(now, level)
-	until := cs.spinUntil
-	m.eng.PostAfter(d, func() {
-		st := &m.cores[c]
-		if st.cur == nil && st.spinUntil == until && m.eng.Now() >= until {
-			st.util.SetLevel(m.eng.Now(), 0)
-			st.hwUtil.SetLevel(m.eng.Now(), 0)
-		}
-	})
+	r := m.rec(evSpinExpire)
+	r.core = c
+	r.until = cs.spinUntil
+	m.eng.PostRunAfter(d, r)
 }
 
 // timerWake handles a Sleep expiry: the timer fires on the core the task
@@ -549,20 +540,19 @@ func (m *Machine) barrierArrive(b *proc.Barrier, t *proc.Task, c machine.CoreID)
 			// kernels are almost entirely insensitive to placement
 			// policy.
 			for _, w := range waiters {
-				w := w
-				m.eng.PostAfter(200*sim.Nanosecond, func() { m.releaseSpinner(w) })
+				r := m.rec(evSpinRelease)
+				r.task = w
+				m.eng.PostRunAfter(200*sim.Nanosecond, r)
 			}
 			return false
 		}
 		// Futex-style barrier: release everyone, one wakeup at a time,
 		// paying for the storm on the waker's core.
 		for i, w := range waiters {
-			w := w
-			m.eng.PostAfter(sim.Duration(i)*wakeIssueGap, func() {
-				if w.State == proc.StateBlocked {
-					m.placeWakeup(w, c, false)
-				}
-			})
+			r := m.rec(evBarrierWake)
+			r.task = w
+			r.core = c
+			m.eng.PostRunAfter(sim.Duration(i)*wakeIssueGap, r)
 		}
 		m.chargeCycles(t, c, sim.Duration(len(waiters))*wakeIssueGap)
 		return false
@@ -609,9 +599,7 @@ func (m *Machine) yieldIfContended(c machine.CoreID) {
 	}
 	now := m.eng.Now()
 	m.accountProgress(c)
-	if cs.completion != nil {
-		m.eng.Cancel(cs.completion)
-	}
+	m.eng.Cancel(&cs.completion)
 	cs.cur = nil
 	t.State = proc.StateRunnable
 	t.LastWoken = -1
@@ -619,6 +607,7 @@ func (m *Machine) yieldIfContended(c machine.CoreID) {
 	t.LastRan = now
 	t.Util.SetRunning(now, false)
 	cs.queue = append(cs.queue, t)
+	m.queuedTasks++
 	m.scheduleIn(c)
 }
 

@@ -66,9 +66,7 @@ func (m *Machine) OfflineCore(c machine.CoreID) {
 		if sib := m.topo.Sibling(c); sib != c && m.cores[sib].cur != nil {
 			m.accountProgress(sib)
 		}
-		if cs.completion != nil {
-			m.eng.Cancel(cs.completion)
-		}
+		m.eng.Cancel(&cs.completion)
 		cs.cur = nil
 		t.State = proc.StateRunnable
 		t.Cur = proc.NoCore
@@ -79,6 +77,7 @@ func (m *Machine) OfflineCore(c machine.CoreID) {
 	}
 	for _, q := range cs.queue {
 		q.Cur = proc.NoCore
+		m.queuedTasks--
 		m.curRunnable-- // the evacuation enqueue re-adds
 		orphans = append(orphans, q)
 	}
@@ -171,7 +170,7 @@ func (m *Machine) SetTickJitter(amp sim.Duration) {
 func (m *Machine) InjectLoad(n int, work sim.Duration) {
 	cycles := proc.Cycles(work, m.spec.Nominal)
 	for i := 0; i < n; i++ {
-		m.Spawn(fmt.Sprintf("spike%d", i), proc.Script(proc.Compute{Cycles: cycles}))
+		m.Spawn(fmt.Sprintf("spike%d", i), proc.Once(proc.Compute{Cycles: cycles}))
 	}
 	if h := m.obs; h.Enabled() {
 		h.Emit(obs.Fault{T: m.eng.Now(), Action: "spike", Core: -1, Socket: -1, Tasks: n})
@@ -188,6 +187,10 @@ func (m *Machine) Running(c machine.CoreID) *proc.Task { return m.cores[c].cur }
 
 // Queued implements invariant.State.
 func (m *Machine) Queued(c machine.CoreID) []*proc.Task { return m.cores[c].queue }
+
+// QueuedTasks implements invariant.QueueAccounting: the cached count of
+// tasks sitting in run queues, which the balance scans early-out on.
+func (m *Machine) QueuedTasks() int { return m.queuedTasks }
 
 // LiveTasks implements invariant.State. Populated only when a checker
 // is configured; exited tasks are compacted away on each call.

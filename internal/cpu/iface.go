@@ -92,7 +92,7 @@ func (m *Machine) SocketRunning() []int {
 		if cs.claimed {
 			n++ // in-flight placement counts as arriving load
 		}
-		m.sockRunning[m.topo.Socket(cs.id)] += n
+		m.sockRunning[m.sockOf[cs.id]] += n
 	}
 	return m.sockRunning
 }
@@ -105,29 +105,37 @@ func (m *Machine) ChargeSearch(examined int, fixed sim.Duration) {
 
 // MoveIfStillQueued implements sched.Machine: the Smove migration timer.
 func (m *Machine) MoveIfStillQueued(t *proc.Task, to machine.CoreID, d sim.Duration) {
-	m.eng.PostAfter(d, func() {
-		// Skip unless the task is actually sitting on a queue: it may be
-		// running, blocked again, or in flight between placement and
-		// enqueue (Cur is NoCore then).
-		if t.State != proc.StateRunnable || t.Cur == to || t.Cur == proc.NoCore {
+	r := m.rec(evSmoveTimer)
+	r.task = t
+	r.core = to
+	m.eng.PostRunAfter(d, r)
+}
+
+// smoveIfStillQueued is the Smove timer expiry: migrate the task to the
+// reserved core if it is still waiting on some other core's queue.
+func (m *Machine) smoveIfStillQueued(t *proc.Task, to machine.CoreID) {
+	// Skip unless the task is actually sitting on a queue: it may be
+	// running, blocked again, or in flight between placement and
+	// enqueue (Cur is NoCore then).
+	if t.State != proc.StateRunnable || t.Cur == to || t.Cur == proc.NoCore {
+		return
+	}
+	from := t.Cur
+	cs := &m.cores[from]
+	for i, q := range cs.queue {
+		if q == t {
+			cs.queue = append(cs.queue[:i], cs.queue[i+1:]...)
+			m.queuedTasks--
+			m.curRunnable--
+			m.res.Counters.Migrations++
+			if h := m.obs; h.Enabled() {
+				h.Emit(obs.Migration{
+					T: m.eng.Now(), Task: int(t.ID), TaskName: t.Name,
+					From: int(from), To: int(to), Reason: "smove_timer",
+				})
+			}
+			m.enqueue(t, to)
 			return
 		}
-		from := t.Cur
-		cs := &m.cores[from]
-		for i, q := range cs.queue {
-			if q == t {
-				cs.queue = append(cs.queue[:i], cs.queue[i+1:]...)
-				m.curRunnable--
-				m.res.Counters.Migrations++
-				if h := m.obs; h.Enabled() {
-					h.Emit(obs.Migration{
-						T: m.eng.Now(), Task: int(t.ID), TaskName: t.Name,
-						From: int(from), To: int(to), Reason: "smove_timer",
-					})
-				}
-				m.enqueue(t, to)
-				return
-			}
-		}
-	})
+	}
 }

@@ -18,15 +18,16 @@ import (
 func benchWorkload(m *Machine, spec *machine.Spec) {
 	work := proc.Cycles(800*sim.Microsecond, spec.Nominal)
 	for i := 0; i < 16; i++ {
-		m.Spawn("blinker", proc.Loop(200, func(int) []proc.Action {
-			return []proc.Action{proc.Compute{Cycles: work}, proc.Sleep{D: 2 * sim.Millisecond}}
-		}))
+		m.Spawn("blinker", proc.Repeat(200, proc.Compute{Cycles: work}, proc.Sleep{D: 2 * sim.Millisecond}))
 	}
+	// Loop never holds the returned slice across gen calls, so the
+	// backing array is reused; only the kid's one-shot behaviour is
+	// per-iteration state.
+	fa := make([]proc.Action, 2)
+	fa[1] = proc.WaitChildren{}
 	m.Spawn("forker", proc.Loop(200, func(int) []proc.Action {
-		return []proc.Action{
-			proc.Fork{Name: "kid", Behavior: proc.Script(proc.Compute{Cycles: work})},
-			proc.WaitChildren{},
-		}
+		fa[0] = proc.Fork{Name: "kid", Behavior: proc.Once(proc.Compute{Cycles: work})}
+		return fa
 	}))
 }
 
@@ -103,11 +104,11 @@ func BenchmarkNestPlacement(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		m := New(Config{Spec: spec, Gov: governor.Schedutil{}, Policy: nest.Default(), Seed: uint64(i + 1)})
 		for f := 0; f < 4; f++ {
+			sa := make([]proc.Action, 2)
+			sa[1] = proc.WaitChildren{}
 			m.Spawn("storm", proc.Loop(400, func(int) []proc.Action {
-				return []proc.Action{
-					proc.Fork{Name: "kid", Behavior: proc.Script(proc.Compute{Cycles: work})},
-					proc.WaitChildren{},
-				}
+				sa[0] = proc.Fork{Name: "kid", Behavior: proc.Once(proc.Compute{Cycles: work})}
+				return sa
 			}))
 		}
 		m.Run(0)
@@ -119,23 +120,33 @@ func BenchmarkEngineOnly(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		e := sim.NewEngine()
-		n := 0
-		var tick func()
-		tick = func() {
-			n++
-			if n < 100000 {
-				e.After(sim.Microsecond, tick)
-			}
-		}
-		e.After(sim.Microsecond, tick)
+		r := &engineBenchRunner{e: e}
+		e.ArmAfter(&r.ev, sim.Microsecond, r)
 		e.Run(0)
 	}
 }
 
-// BenchmarkEnginePost is BenchmarkEngineOnly on the handle-free Post
-// path: the same chain of self-rescheduling callbacks, but fire-and-
-// forget, so no Event is ever allocated. The allocs/op gap between the
-// two benchmarks is the cost of cancellation handles.
+// engineBenchRunner re-arms its own in-place Event until 100k firings:
+// the closure-free posting pattern the runtime's hot paths use. The
+// whole chain allocates a handful of objects (the runner, one engine
+// node slab), independent of the event count.
+type engineBenchRunner struct {
+	e  *sim.Engine
+	ev sim.Event
+	n  int
+}
+
+func (r *engineBenchRunner) RunAt(now sim.Time) {
+	r.n++
+	if r.n < 100000 {
+		r.e.ArmAfter(&r.ev, sim.Microsecond, r)
+	}
+}
+
+// BenchmarkEnginePost is BenchmarkEngineOnly on the closure Post path:
+// the same chain of self-rescheduling callbacks, but each link is a
+// fresh closure. The allocs/op gap between the two benchmarks is the
+// per-event cost the Runner API removes.
 func BenchmarkEnginePost(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {

@@ -30,7 +30,7 @@ func (m *Machine) tick() {
 		if m.tickJitter > 0 {
 			d += m.rng.Duration(0, m.tickJitter)
 		}
-		m.eng.PostAfter(d, m.tickFn)
+		m.eng.PostRunAfter(d, &m.tickRun)
 	}
 }
 
@@ -48,15 +48,14 @@ func (m *Machine) preemptPass(now sim.Time) {
 		t := cs.cur
 		m.accountProgress(cs.id)
 		m.recordSlice(t, cs.id, cs.curStart, now)
-		if cs.completion != nil {
-			m.eng.Cancel(cs.completion)
-		}
+		m.eng.Cancel(&cs.completion)
 		cs.cur = nil
 		t.State = proc.StateRunnable
 		t.LastWoken = -1 // requeue, not a wakeup
 		t.EnqueuedAt = now
 		t.Util.SetRunning(now, false)
 		cs.queue = append(cs.queue, t)
+		m.queuedTasks++
 		m.res.Counters.Preemptions++
 		m.scheduleIn(cs.id)
 	}
@@ -66,13 +65,16 @@ func (m *Machine) preemptPass(now sim.Time) {
 // within the hardware's lookback window — the basis of the turbo budget.
 func (m *Machine) activePhysOnSocket(s int, now sim.Time) int {
 	horizon := now - m.cfg.ActiveWindow
-	m.physGen++
 	count := 0
-	for _, c := range m.topo.SocketCores(s) {
+	for _, c := range m.physReps[s] {
 		cs := &m.cores[c]
 		if cs.cur != nil || cs.spinUntil > now || cs.lastActive >= horizon {
-			if phys := m.topo.Core(c).Physical; m.physMark[phys] != m.physGen {
-				m.physMark[phys] = m.physGen
+			count++
+			continue
+		}
+		if sib := m.sibOf[c]; sib != c {
+			ss := &m.cores[sib]
+			if ss.cur != nil || ss.spinUntil > now || ss.lastActive >= horizon {
 				count++
 			}
 		}
@@ -98,7 +100,7 @@ func (m *Machine) freqAndAccountingPass(now sim.Time) {
 			cs.lastActive = now
 		}
 		if cs.lastActive >= horizon {
-			m.physActive[m.topo.Core(cs.id).Physical] = true
+			m.physActive[m.physOf[cs.id]] = true
 		}
 	}
 	for p, a := range m.physActive {
@@ -128,7 +130,7 @@ func (m *Machine) freqAndAccountingPass(now sim.Time) {
 				})
 			}
 		}
-		sock := m.topo.Socket(cs.id)
+		sock := m.sockOf[cs.id]
 		f := m.fm.TickUpdate(cs.id, active, req, m.sockActive[sock], cs.hwUtil.Value(now))
 		if cs.cur != nil {
 			m.scheduleCompletion(cs.id)
@@ -152,7 +154,7 @@ func (m *Machine) energyPass() {
 		if cs.cur == nil && cs.spinUntil <= now {
 			continue
 		}
-		s := m.topo.Socket(cs.id)
+		s := m.sockOf[cs.id]
 		if f := m.fm.Cur(cs.id); f > m.sockMaxF[s] {
 			m.sockMaxF[s] = f
 		}
@@ -244,7 +246,7 @@ func (m *Machine) gaugePass(now sim.Time) {
 			state = "spin"
 		}
 		if !cs.offline {
-			s := m.topo.Socket(cs.id)
+			s := m.sockOf[cs.id]
 			m.gaugeOnline[s]++
 			if cs.cur != nil {
 				m.gaugeBusy[s]++
@@ -306,6 +308,9 @@ func (m *Machine) underloadPass(now sim.Time) {
 // instantly, which is what lets the paper's NAS-on-E7 fork overloads be
 // visible at all.
 func (m *Machine) balancePass() {
+	if m.queuedTasks == 0 {
+		return // no core has a waiter; every findBusiest would say -1
+	}
 	for i := range m.cores {
 		cs := &m.cores[i]
 		if cs.offline || cs.cur != nil || len(cs.queue) > 0 || cs.claimed {
@@ -343,6 +348,7 @@ func (m *Machine) balancePass() {
 			continue
 		}
 		vs.queue = append(vs.queue[:idx], vs.queue[idx+1:]...)
+		m.queuedTasks--
 		m.curRunnable-- // enqueue below re-adds
 		m.res.Counters.LoadBalances++
 		if h := m.obs; h.Enabled() {
@@ -385,13 +391,16 @@ func (m *Machine) refreshSocketLoads(now sim.Time) {
 	}
 	for i := range m.cores {
 		cs := &m.cores[i]
-		m.sockLoads[m.topo.Socket(cs.id)] += cs.util.Value(now) + float64(len(cs.queue))
+		m.sockLoads[m.sockOf[cs.id]] += cs.util.Value(now) + float64(len(cs.queue))
 	}
 }
 
 // findBusiestOnDie locates a core on from's die with both a running task
 // and waiting ones; -1 if none.
 func (m *Machine) findBusiestOnDie(from machine.CoreID) machine.CoreID {
+	if m.queuedTasks == 0 {
+		return -1
+	}
 	best := machine.CoreID(-1)
 	bestLen := 0
 	for _, c := range m.topo.SocketCores(m.topo.Socket(from)) {
@@ -407,6 +416,9 @@ func (m *Machine) findBusiestOnDie(from machine.CoreID) machine.CoreID {
 // findBusiest locates a core with both a running task and waiting ones,
 // preferring the idle core's own die; -1 if none.
 func (m *Machine) findBusiest(from machine.CoreID) machine.CoreID {
+	if m.queuedTasks == 0 {
+		return -1
+	}
 	best := machine.CoreID(-1)
 	bestLen := 0
 	for _, s := range m.topo.SocketOrder(from) {

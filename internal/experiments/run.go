@@ -149,6 +149,12 @@ type RunSpec struct {
 	// a run that completes, so it stays out of the cell's identity
 	// (CellKey).
 	onStart func(*cpu.Machine)
+	// heapEngine, when set, runs the cell on sim.NewEngineHeap — the
+	// wheel-disabled differential oracle. Like onStart it is unexported
+	// and outside CellKey: the two engines are required to produce
+	// byte-identical results (differential_test.go), so the flag cannot
+	// change a run's identity.
+	heapEngine bool
 }
 
 // String names the cell compactly for error reports and logs, e.g.
@@ -217,10 +223,15 @@ func RunOnSpec(spec *machine.Spec, rs RunSpec) (*metrics.Result, error) {
 	if rs.Check != nil {
 		rs.Check.SetObs(rs.Obs)
 	}
+	var eng *sim.Engine
+	if rs.heapEngine {
+		eng = sim.NewEngineHeap()
+	}
 	m := cpu.New(cpu.Config{
 		Spec:        spec,
 		Gov:         gov,
 		Policy:      sf(),
+		Engine:      eng,
 		Seed:        rs.Seed,
 		Trace:       rs.Trace,
 		Series:      rs.Series,

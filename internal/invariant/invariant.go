@@ -61,6 +61,15 @@ type State interface {
 	FreqCap(c machine.CoreID) machine.FreqMHz
 }
 
+// QueueAccounting is the optional waiter-count introspection a runtime
+// provides; when the bound state implements it, the checker verifies the
+// cached count against the queues it just swept. The runtime's balance
+// scans early-out on this counter, so drift would silently disable load
+// balancing. *cpu.Machine implements it.
+type QueueAccounting interface {
+	QueuedTasks() int
+}
+
 // NestView is the optional mask introspection a nest-style policy
 // provides; when the bound policy implements it, the checker validates
 // the masks too. *core.Policy implements it.
@@ -161,11 +170,13 @@ func (c *Checker) Check() {
 	for id := range c.seen {
 		delete(c.seen, id)
 	}
+	totalQueued := 0
 	for i := 0; i < n; i++ {
 		cid := machine.CoreID(i)
 		online := c.st.Online(cid)
 		run := c.st.Running(cid)
 		queued := c.st.Queued(cid)
+		totalQueued += len(queued)
 		if !online {
 			if run != nil {
 				c.report("offline_running", "core %d is offline but runs task %d", i, run.ID)
@@ -202,6 +213,10 @@ func (c *Checker) Check() {
 		if f, cap := c.st.CurFreq(cid), c.st.FreqCap(cid); f > cap+1 {
 			c.report("freq_above_cap", "core %d at %d MHz exceeds cap %d MHz", i, f, cap)
 		}
+	}
+
+	if qa, ok := c.st.(QueueAccounting); ok && qa.QueuedTasks() != totalQueued {
+		c.report("queued_count", "cached queued-task count %d but queues hold %d", qa.QueuedTasks(), totalQueued)
 	}
 
 	for _, t := range c.st.LiveTasks() {

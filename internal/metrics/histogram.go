@@ -61,7 +61,14 @@ func (h *LatHist) Add(d sim.Duration) {
 	}
 	i := latIndex(int64(d))
 	if i >= len(h.counts) {
-		grown := make([]int64, i+1)
+		// Grow geometrically: every new-max sample would otherwise copy
+		// the whole array. Trailing zero buckets are invisible — every
+		// consumer skips empty buckets — so the extra length is free.
+		n := 2 * len(h.counts)
+		if n < i+1 {
+			n = i + 1
+		}
+		grown := make([]int64, n)
 		copy(grown, h.counts)
 		h.counts = grown
 	}

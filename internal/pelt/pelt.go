@@ -33,6 +33,14 @@ type Signal struct {
 	level    float64 // instantaneous activity the average converges toward
 	last     sim.Time
 	halfLife sim.Duration // 0 means HalfLife
+
+	// Single-entry decay-factor memo. Periodic accounting decays most
+	// signals by exactly one tick at a time, so the same dt recurs and
+	// the (expensive) exponential can be reused. The memo stores the
+	// exact math.Exp result, so cached and uncached paths are
+	// bit-identical — this is a pure time optimisation.
+	memoDt sim.Duration
+	memoF  float64
 }
 
 // WithHalfLife returns an idle signal that decays with the given
@@ -48,12 +56,26 @@ func (s *Signal) decayTo(t sim.Time) {
 	if t <= s.last {
 		return
 	}
+	if s.value == s.level {
+		// Converged: value' = level + (value-level)·f = level exactly,
+		// whatever f is. Long-busy signals saturate at exactly 1.0 (the
+		// residual underflows) and long-idle ones at 0.0, so this skips
+		// the exponential on the steady-state hot path bit-identically.
+		s.last = t
+		return
+	}
 	h := s.halfLife
 	if h == 0 {
 		h = HalfLife
 	}
-	dt := float64(t - s.last)
-	f := math.Exp(-math.Ln2 / float64(h) * dt)
+	dt := t - s.last
+	var f float64
+	if dt == s.memoDt {
+		f = s.memoF
+	} else {
+		f = math.Exp(-math.Ln2 / float64(h) * float64(dt))
+		s.memoDt, s.memoF = dt, f
+	}
 	// Converges toward the current activity level.
 	s.value = s.level + (s.value-s.level)*f
 	s.last = t

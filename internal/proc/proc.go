@@ -230,6 +230,43 @@ func Script(actions ...Action) Behavior {
 	}
 }
 
+// Once returns a behaviour that plays a single action and exits — the
+// body of every fork-storm kid. It is Script(a) minus the variadic
+// slice, which matters when a parent mints hundreds of children.
+func Once(a Action) Behavior {
+	done := false
+	return func(t *Task, r *sim.Rand) Action {
+		if done {
+			return Exit{}
+		}
+		done = true
+		return a
+	}
+}
+
+// Repeat returns a behaviour that plays the given fixed actions n times
+// over, then exits. Unlike Loop with a constant generator it boxes the
+// actions exactly once, so a task's steady-state action stream allocates
+// nothing. The actions must be stateless values (Compute, Sleep, Send,
+// Recv, BarrierWait...): a Fork's Behavior closure would be shared
+// across iterations, which is almost never what a workload means — use
+// Loop for those.
+func Repeat(n int, actions ...Action) Behavior {
+	iter, i := 0, 0
+	return func(t *Task, r *sim.Rand) Action {
+		if i >= len(actions) {
+			i = 0
+			iter++
+		}
+		if iter >= n || len(actions) == 0 {
+			return Exit{}
+		}
+		a := actions[i]
+		i++
+		return a
+	}
+}
+
 // Loop returns a behaviour that asks body for an action n times per
 // iteration... it repeats the action sequence produced by gen n times.
 // gen is called once per iteration with the iteration index.

@@ -1,0 +1,52 @@
+// Package profiling wires the standard pprof profiles into the CLIs:
+// one call at startup, one at shutdown. The simulator's performance
+// work (docs/PERFORMANCE.md) is driven by exactly these profiles, so
+// every entry point that runs simulations accepts -cpuprofile and
+// -memprofile.
+package profiling
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins CPU profiling to cpuPath and arranges a heap profile at
+// memPath; either may be empty to skip that profile. It returns a stop
+// function to call once, at the end of the run — on error paths that
+// os.Exit early the profiles are simply truncated or absent, which is
+// fine: profiling a failed run is not meaningful.
+func Start(cpuPath, memPath string) (func(), error) {
+	var cpuF *os.File
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("start cpu profile: %w", err)
+		}
+		cpuF = f
+	}
+	stop := func() {
+		if cpuF != nil {
+			pprof.StopCPUProfile()
+			cpuF.Close()
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile shows live data
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				fmt.Fprintln(os.Stderr, "memprofile:", err)
+			}
+		}
+	}
+	return stop, nil
+}

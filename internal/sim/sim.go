@@ -1,12 +1,20 @@
 // Package sim provides a deterministic discrete-event simulation engine.
 //
-// The engine maintains a virtual clock in nanoseconds and a priority queue
-// of events. Events scheduled for the same instant fire in the order they
-// were scheduled (FIFO), which keeps runs deterministic. All simulation
-// state in this repository is driven from a single goroutine; the engine
-// is intentionally not safe for concurrent use. Independent runs each own
-// an engine, so whole runs can execute on separate goroutines (the
-// experiment grid pool does exactly that).
+// The engine maintains a virtual clock in nanoseconds and a pending-event
+// structure ordered by (when, seq): earlier times first, FIFO (scheduling
+// order) within the same instant, which keeps runs deterministic. All
+// simulation state in this repository is driven from a single goroutine;
+// the engine is intentionally not safe for concurrent use. Independent
+// runs each own an engine, so whole runs can execute on separate
+// goroutines (the experiment grid pool does exactly that).
+//
+// Internally the pending set is a hierarchical timing wheel in front of a
+// small 4-ary heap (see wheel.go and docs/PERFORMANCE.md): the heap holds
+// only the events of the current wheel bucket, so push/pop cost is O(1)
+// in the total number of pending events. NewEngineHeap builds the same
+// engine with the wheel disabled — everything stays in the heap — which
+// is algorithmically the pre-wheel engine and serves as the differential
+// oracle in tests.
 package sim
 
 import (
@@ -41,39 +49,66 @@ func (t Time) Millis() float64 { return float64(t) / float64(Millisecond) }
 // String renders the time as seconds with microsecond precision.
 func (t Time) String() string { return fmt.Sprintf("%.6fs", t.Seconds()) }
 
-// Event is a handle to a scheduled callback that can be cancelled or
-// rescheduled. The zero Event is invalid; events are created through
-// Engine.At and Engine.After. Fire-and-forget callbacks should use
-// Engine.Post / Engine.PostAfter instead, which schedule without
-// allocating a handle at all.
-type Event struct {
-	when  Time
-	index int // position in the engine's queue, -1 when not queued
+// Runner is the typed callback for allocation-free scheduling: hot paths
+// implement RunAt on preallocated (usually pooled) receivers and post
+// them through PostRun/PostRunAfter/Arm instead of passing a fresh
+// closure per event. The engine invokes RunAt exactly once per scheduled
+// occurrence, with the virtual time the event fired at.
+type Runner interface {
+	RunAt(now Time)
 }
 
-// When returns the virtual time the event is scheduled for.
+// Event is a handle to a scheduled callback that can be cancelled or
+// re-armed. The zero Event is valid and unscheduled: embed one in a
+// long-lived struct and arm it in place with Engine.Arm, which
+// reschedules without any allocation. Engine.At and Engine.After return
+// a freshly allocated handle for convenience; fire-and-forget callbacks
+// should use Engine.Post / Engine.PostAfter, which schedule without a
+// handle at all.
+type Event struct {
+	when Time
+	n    *node // pending entry, nil once fired or cancelled
+}
+
+// When returns the virtual time the event was last scheduled for.
 func (e *Event) When() Time { return e.when }
 
-// Scheduled reports whether the event is still pending in the queue.
-func (e *Event) Scheduled() bool { return e != nil && e.index >= 0 }
-
-// entry is one queued callback. Entries are stored by value in the
-// engine's heap, so handle-free scheduling (Post/PostAfter) performs no
-// per-event allocation; ev is non-nil only for cancellable events
-// created through At/After, and carries the heap index those handles
-// need for Cancel and Reschedule.
-type entry struct {
-	when Time
-	seq  uint64
-	fn   func()
-	ev   *Event
-}
+// Scheduled reports whether the event is still pending.
+func (e *Event) Scheduled() bool { return e != nil && e.n != nil }
 
 // Engine is a discrete-event simulator instance.
 type Engine struct {
 	now   Time
 	seq   uint64
-	queue []entry
+	count int // pending events, across near heap, wheel and far heap
+
+	// near is a 4-ary min-heap of the events below horizon — the ones
+	// that can fire before the wheel must turn again. With the wheel
+	// engaged it stays a handful of entries deep regardless of the total
+	// pending count.
+	near []*node
+
+	// horizon is the exclusive upper bound on near-heap times, always a
+	// multiple of the level-0 bucket width. Events at or past it live in
+	// the wheel buckets or, beyond the wheel's reach, in the far heap.
+	// NewEngineHeap sets it to maxTime so the wheel never engages.
+	horizon Time
+
+	// The hierarchical wheel: wheelLevels levels of wheelSlots buckets
+	// (unordered singly-linked node chains), per-level occupancy bitmaps,
+	// and a count of nodes currently chained in any bucket.
+	levels     [wheelLevels][wheelSlots]*node
+	occ        [wheelLevels][wheelWords]uint64
+	wheelCount int
+
+	// far is a 4-ary min-heap of events beyond the wheel's coverage;
+	// advance drains it into the wheel as the horizon approaches.
+	far []*node
+
+	// freeN is the node free-list; nodes are slab-allocated and recycled
+	// so steady-state scheduling performs no allocation.
+	freeN *node
+
 	// steps counts processed events, for run-away detection in tests.
 	steps uint64
 	// onStep, when set, runs after every processed event — the hook the
@@ -81,15 +116,25 @@ type Engine struct {
 	// state after each scheduling event. Nil costs nothing.
 	onStep func()
 	// stopRequested is the one piece of engine state another goroutine
-	// may touch: watchdogs set it to ask the run loop to stop at the
-	// next event boundary. Everything else on the engine remains
-	// single-goroutine.
+	// may touch: watchdogs set it to ask the run loop to stop. Everything
+	// else on the engine remains single-goroutine. Run loops poll it
+	// every stopCheckInterval events rather than per event.
 	stopRequested atomic.Bool
 }
 
 // NewEngine returns an engine with the clock at zero and an empty queue.
 func NewEngine() *Engine {
-	return &Engine{}
+	return &Engine{horizon: bucketWidth}
+}
+
+// NewEngineHeap returns an engine whose wheel never engages: every
+// pending event lives in the 4-ary near heap, which makes it
+// algorithmically the pre-wheel engine. It exists as the differential
+// oracle — tests run it side by side with the wheel engine and require
+// byte-identical event streams (see TestEngineDifferential and
+// FuzzEngineDifferential).
+func NewEngineHeap() *Engine {
+	return &Engine{horizon: maxTime}
 }
 
 // Now returns the current virtual time.
@@ -102,136 +147,40 @@ func (e *Engine) Steps() uint64 { return e.steps }
 // it). One hook at a time: registering replaces the previous one.
 func (e *Engine) OnStep(fn func()) { e.onStep = fn }
 
-// Pending returns the number of queued events.
-func (e *Engine) Pending() int { return len(e.queue) }
+// Pending returns the number of pending events.
+func (e *Engine) Pending() int { return e.count }
 
-// The queue is a 4-ary min-heap of entries ordered by (when, seq),
-// implemented concretely rather than through container/heap: the
-// interface-based heap boxes every push/pop through `any` and calls
-// Less/Swap indirectly, which showed up as a large share of engine time
-// and one allocation per scheduled event. A 4-ary shape also halves the
-// tree depth, trading slightly wider sift-down comparisons for fewer
-// cache-missing levels — the right trade for the small entries here.
-
-const heapArity = 4
-
-// before reports whether a fires before b: earlier time first, FIFO
-// (scheduling order) within the same instant.
-func (a *entry) before(b *entry) bool {
-	if a.when != b.when {
-		return a.when < b.when
-	}
-	return a.seq < b.seq
-}
-
-// place writes en into slot i, keeping its handle's index current.
-func (e *Engine) place(i int, en entry) {
-	e.queue[i] = en
-	if en.ev != nil {
-		en.ev.index = i
-	}
-}
-
-// siftUp moves the entry at i toward the root until its parent fires
-// no later than it does.
-func (e *Engine) siftUp(i int) {
-	en := e.queue[i]
-	for i > 0 {
-		parent := (i - 1) / heapArity
-		if !en.before(&e.queue[parent]) {
-			break
-		}
-		e.place(i, e.queue[parent])
-		i = parent
-	}
-	e.place(i, en)
-}
-
-// siftDown moves the entry at i toward the leaves until no child fires
-// before it.
-func (e *Engine) siftDown(i int) {
-	n := len(e.queue)
-	en := e.queue[i]
-	for {
-		first := heapArity*i + 1
-		if first >= n {
-			break
-		}
-		best := first
-		last := first + heapArity
-		if last > n {
-			last = n
-		}
-		for c := first + 1; c < last; c++ {
-			if e.queue[c].before(&e.queue[best]) {
-				best = c
-			}
-		}
-		if !e.queue[best].before(&en) {
-			break
-		}
-		e.place(i, e.queue[best])
-		i = best
-	}
-	e.place(i, en)
-}
-
-// push appends en and restores heap order.
-func (e *Engine) push(en entry) {
-	e.queue = append(e.queue, en)
-	e.siftUp(len(e.queue) - 1)
-}
-
-// popMin removes and returns the earliest entry.
-func (e *Engine) popMin() entry {
-	top := e.queue[0]
-	if top.ev != nil {
-		top.ev.index = -1
-	}
-	n := len(e.queue) - 1
-	last := e.queue[n]
-	e.queue[n] = entry{} // release the closure
-	e.queue = e.queue[:n]
-	if n > 0 {
-		e.place(0, last)
-		e.siftDown(0)
-	}
-	return top
-}
-
-// remove deletes the entry at index i.
-func (e *Engine) remove(i int) {
-	if ev := e.queue[i].ev; ev != nil {
-		ev.index = -1
-	}
-	n := len(e.queue) - 1
-	last := e.queue[n]
-	e.queue[n] = entry{}
-	e.queue = e.queue[:n]
-	if i == n {
-		return
-	}
-	e.place(i, last)
-	e.siftDown(i)
-	e.siftUp(i)
-}
-
-// schedule validates t and enqueues fn, returning the entry's handle
-// slot untouched (ev may be nil for handle-free callers).
-func (e *Engine) schedule(t Time, fn func(), ev *Event) {
+// schedule validates t and enqueues a callback (exactly one of fn and r
+// is non-nil; ev may be nil for handle-free callers).
+func (e *Engine) schedule(t Time, fn func(), r Runner, ev *Event) {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
 	}
-	e.push(entry{when: t, seq: e.seq, fn: fn, ev: ev})
+	n := e.newNode()
+	n.when = t
+	n.seq = e.seq
+	n.fn = fn
+	n.r = r
+	n.ev = ev
 	e.seq++
+	e.count++
+	if ev != nil {
+		ev.when = t
+		ev.n = n
+	}
+	if t < e.horizon {
+		e.heapPush(&e.near, n, locNear)
+	} else {
+		e.wheelAdd(n)
+	}
 }
 
 // At schedules fn to run at time t and returns a cancellable handle.
 // Scheduling in the past panics: it always indicates a modelling bug,
 // and silently reordering time would corrupt every metric downstream.
 func (e *Engine) At(t Time, fn func()) *Event {
-	ev := &Event{when: t, index: -1}
-	e.schedule(t, fn, ev)
+	ev := &Event{}
+	e.schedule(t, fn, nil, ev)
 	return ev
 }
 
@@ -244,12 +193,10 @@ func (e *Engine) After(d Duration, fn func()) *Event {
 }
 
 // Post schedules fn to run at time t without returning a handle. It is
-// the allocation-free path for fire-and-forget events — the vast
-// majority of scheduling in the runtime (enqueue delays, timer wakes,
-// spin expiries, ticks) — and fires in exactly the same (when, seq)
-// order as At-scheduled events.
+// the allocation-free path for fire-and-forget closures and fires in
+// exactly the same (when, seq) order as every other scheduling API.
 func (e *Engine) Post(t Time, fn func()) {
-	e.schedule(t, fn, nil)
+	e.schedule(t, fn, nil, nil)
 }
 
 // PostAfter schedules fn to run d nanoseconds from now, without a
@@ -258,16 +205,66 @@ func (e *Engine) PostAfter(d Duration, fn func()) {
 	if d < 0 {
 		panic(fmt.Sprintf("sim: negative delay %d", d))
 	}
-	e.schedule(e.now+d, fn, nil)
+	e.schedule(e.now+d, fn, nil, nil)
 }
 
-// Cancel removes a pending event from the queue. Cancelling an event that
-// already fired (or was already cancelled) is a no-op and returns false.
+// PostRun schedules r.RunAt to run at time t without a handle. Together
+// with a preallocated receiver this path performs no allocation at all.
+func (e *Engine) PostRun(t Time, r Runner) {
+	e.schedule(t, nil, r, nil)
+}
+
+// PostRunAfter schedules r.RunAt to run d nanoseconds from now, without
+// a handle.
+func (e *Engine) PostRunAfter(d Duration, r Runner) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %d", d))
+	}
+	e.schedule(e.now+d, nil, r, nil)
+}
+
+// Arm schedules r.RunAt at time t on a caller-owned handle, first
+// cancelling ev if it is still pending — the Runner twin of Reschedule.
+// Re-arming an already-fired or zero Event works; with a long-lived ev
+// and r the whole cycle is allocation-free.
+func (e *Engine) Arm(ev *Event, t Time, r Runner) {
+	e.Cancel(ev)
+	if t < e.now {
+		panic(fmt.Sprintf("sim: rescheduling event at %v before now %v", t, e.now))
+	}
+	e.schedule(t, nil, r, ev)
+}
+
+// ArmAfter arms ev to run r.RunAt d nanoseconds from now.
+func (e *Engine) ArmAfter(ev *Event, d Duration, r Runner) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %d", d))
+	}
+	e.Arm(ev, e.now+d, r)
+}
+
+// Cancel removes a pending event. Cancelling an event that already fired
+// (or was already cancelled) is a no-op and returns false.
 func (e *Engine) Cancel(ev *Event) bool {
-	if ev == nil || ev.index < 0 {
+	if ev == nil || ev.n == nil {
 		return false
 	}
-	e.remove(ev.index)
+	n := ev.n
+	ev.n = nil
+	e.count--
+	switch n.loc {
+	case locNear:
+		e.heapRemoveAt(&e.near, int(n.pos))
+		e.freeNode(n)
+	case locFar:
+		e.heapRemoveAt(&e.far, int(n.pos))
+		e.freeNode(n)
+	default: // locBucket: mark dead in place; reclaimed when the bucket drains
+		n.loc = locDead
+		n.fn = nil
+		n.r = nil
+		n.ev = nil
+	}
 	return true
 }
 
@@ -278,58 +275,118 @@ func (e *Engine) Reschedule(ev *Event, t Time, fn func()) {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: rescheduling event at %v before now %v", t, e.now))
 	}
-	ev.when = t
-	e.schedule(t, fn, ev)
+	e.schedule(t, fn, nil, ev)
 }
 
-// Step processes the next event. It returns false when the queue is empty.
-func (e *Engine) Step() bool {
-	if len(e.queue) == 0 {
-		return false
-	}
-	en := e.popMin()
-	if en.when < e.now {
-		panic("sim: event queue went backwards")
-	}
-	e.now = en.when
-	e.steps++
-	en.fn()
-	if e.onStep != nil {
-		e.onStep()
+// ensureNear tops up the near heap from the wheel when it runs dry.
+// It returns false when no events are pending at all.
+func (e *Engine) ensureNear() bool {
+	if len(e.near) == 0 {
+		if e.count == 0 {
+			return false
+		}
+		e.advance()
 	}
 	return true
 }
 
-// RequestStop asks the run loop to stop at the next event boundary.
-// It is the only engine method safe to call from another goroutine —
-// watchdog timers use it to cancel a wedged or over-budget run. The
-// current event completes; queued events stay queued; the clock stays
-// wherever the last processed event left it.
+// stepNear dispatches the earliest near-heap event. The caller must have
+// ensured the near heap is non-empty.
+func (e *Engine) stepNear() {
+	n := e.heapRemoveAt(&e.near, 0)
+	if n.when < e.now {
+		panic("sim: event queue went backwards")
+	}
+	e.now = n.when
+	e.steps++
+	e.count--
+	if n.ev != nil {
+		n.ev.n = nil
+	}
+	fn, r := n.fn, n.r
+	e.freeNode(n)
+	if r != nil {
+		r.RunAt(e.now)
+	} else {
+		fn()
+	}
+	if e.onStep != nil {
+		e.onStep()
+	}
+}
+
+// Step processes the next event. It returns false when no events are
+// pending.
+func (e *Engine) Step() bool {
+	if !e.ensureNear() {
+		return false
+	}
+	e.stepNear()
+	return true
+}
+
+// RequestStop asks the run loop to stop. It is the only engine method
+// safe to call from another goroutine — watchdog timers use it to cancel
+// a wedged or over-budget run. The flag is polled every
+// stopCheckInterval events (not per event, to keep the atomic load off
+// the hottest loop), so up to that many events may still fire; queued
+// events stay queued; the clock stays wherever the last processed event
+// left it.
 func (e *Engine) RequestStop() { e.stopRequested.Store(true) }
 
 // StopRequested reports whether RequestStop has been called.
 func (e *Engine) StopRequested() bool { return e.stopRequested.Load() }
 
+// stopCheckInterval is how many events a run loop processes between
+// polls of the cross-goroutine stop flag. Watchdog stop latency is
+// bounded by this many events (TestEngineRequestStopLatencyBounded).
+const stopCheckInterval = 1024
+
 // Run processes events until the queue is empty, the clock passes
 // limit, or a stop is requested. A limit of zero means no limit. It
 // returns the final virtual time.
 func (e *Engine) Run(limit Time) Time {
-	for len(e.queue) > 0 && !e.stopRequested.Load() {
-		next := e.queue[0].when
-		if limit > 0 && next > limit {
+	budget := 0
+	for e.count > 0 {
+		if budget == 0 {
+			if e.stopRequested.Load() {
+				break
+			}
+			budget = stopCheckInterval
+		}
+		budget--
+		if !e.ensureNear() {
+			break
+		}
+		if limit > 0 && e.near[0].when > limit {
 			e.now = limit
 			break
 		}
-		e.Step()
+		e.stepNear()
 	}
 	return e.now
 }
 
-// RunUntil processes events while cond returns true, events remain,
-// and no stop has been requested.
+// RunUntil processes events until cond returns true, events run out, or
+// a stop is requested. cond is evaluated before every event; the stop
+// flag every stopCheckInterval events.
 func (e *Engine) RunUntil(cond func() bool) Time {
-	for len(e.queue) > 0 && !e.stopRequested.Load() && !cond() {
-		e.Step()
+	budget := 0
+	for e.count > 0 {
+		if budget == 0 {
+			if e.stopRequested.Load() {
+				break
+			}
+			budget = stopCheckInterval
+		}
+		budget--
+		if cond() {
+			break
+		}
+		if !e.ensureNear() {
+			break
+		}
+		e.stepNear()
 	}
 	return e.now
 }

@@ -382,32 +382,53 @@ func TestRescheduleFiredEventAfterPosts(t *testing.T) {
 }
 
 func TestEngineRequestStop(t *testing.T) {
+	// The stop flag is polled every stopCheckInterval events, so a stop
+	// raised mid-batch lets the rest of the batch fire — but never more.
 	e := NewEngine()
-	var fired []Time
-	for i := Time(1); i <= 5; i++ {
-		tt := i
-		e.Post(tt, func() { fired = append(fired, tt) })
+	var fired int
+	for i := Time(1); i <= 3*stopCheckInterval; i++ {
+		e.Post(i, func() { fired++ })
 	}
 	e.Post(3, func() { e.RequestStop() })
-	end := e.Run(0)
-	// Events at t=1..3 fire (the stop event shares t=3 but was posted
-	// after, so the value event at 3 has already run); 4 and 5 must not.
-	if len(fired) != 3 || fired[2] != 3 {
-		t.Fatalf("fired = %v, want [1 2 3]", fired)
-	}
-	if end != 3 {
-		t.Errorf("clock = %v, want 3", end)
-	}
+	e.Run(0)
 	if !e.StopRequested() {
 		t.Error("StopRequested = false after RequestStop")
 	}
-	if e.Pending() != 2 {
-		t.Errorf("pending = %d, want the 2 unprocessed events", e.Pending())
+	if fired < 3 {
+		t.Errorf("fired = %d, want at least the events before the stop", fired)
+	}
+	if fired > stopCheckInterval {
+		t.Errorf("fired = %d events after a stop at t=3; latency bound is %d", fired, stopCheckInterval)
+	}
+	if e.Pending() != 3*stopCheckInterval-fired {
+		t.Errorf("pending = %d, want the %d unprocessed events", e.Pending(), 3*stopCheckInterval-fired)
 	}
 	// RunUntil honours the same flag: nothing more runs.
+	before := fired
 	e.RunUntil(func() bool { return false })
-	if len(fired) != 3 {
-		t.Errorf("RunUntil processed events after stop: %v", fired)
+	if fired != before {
+		t.Errorf("RunUntil processed %d events after stop", fired-before)
+	}
+}
+
+func TestEngineRequestStopLatencyBounded(t *testing.T) {
+	// A watchdog stop during a long run halts the loop within one
+	// stop-check batch: at most stopCheckInterval further events fire.
+	e := NewEngine()
+	total := 10 * stopCheckInterval
+	var fired int
+	for i := 0; i < total; i++ {
+		e.Post(Time(i+1), func() { fired++ })
+	}
+	stopAt := 2*stopCheckInterval + 17 // mid-batch, not on a boundary
+	e.Post(Time(stopAt), func() { e.RequestStop() })
+	e.Run(0)
+	if fired < stopAt {
+		t.Errorf("fired = %d, want at least %d (events before the stop)", fired, stopAt)
+	}
+	if fired > stopAt+stopCheckInterval {
+		t.Errorf("stop latency exceeded: %d events fired after the stop at %d (bound %d)",
+			fired-stopAt, stopAt, stopCheckInterval)
 	}
 }
 

@@ -141,7 +141,7 @@ func (s *CustomSpec) build(m *cpu.Machine, scale float64) {
 					for i := 0; i < g.ForkChildren; i++ {
 						pending = append(pending, proc.Fork{
 							Name:     g.Name + "-kid",
-							Behavior: proc.Script(proc.Compute{Cycles: work(r)}),
+							Behavior: proc.Once(proc.Compute{Cycles: work(r)}),
 						})
 					}
 					pending = append(pending, proc.WaitChildren{})

@@ -29,12 +29,8 @@ func (p hackbenchProfile) install(m *cpu.Machine, scale float64) {
 	for g := 0; g < p.Groups; g++ {
 		for q := 0; q < p.Pairs; q++ {
 			ch := proc.NewChan(fmt.Sprintf("hb-%d-%d", g, q), 1)
-			sender := proc.Loop(msgs, func(i int) []proc.Action {
-				return []proc.Action{proc.Compute{Cycles: work}, proc.Send{Ch: ch}}
-			})
-			receiver := proc.Loop(msgs, func(i int) []proc.Action {
-				return []proc.Action{proc.Recv{Ch: ch}, proc.Compute{Cycles: work}}
-			})
+			sender := proc.Repeat(msgs, proc.Compute{Cycles: work}, proc.Send{Ch: ch})
+			receiver := proc.Repeat(msgs, proc.Recv{Ch: ch}, proc.Compute{Cycles: work})
 			actions = append(actions,
 				proc.Fork{Name: "sender", Behavior: sender},
 				proc.Fork{Name: "receiver", Behavior: receiver},
@@ -65,9 +61,7 @@ func (p schbenchProfile) install(m *cpu.Machine, scale float64) {
 		for w := 0; w < p.Workers; w++ {
 			ch := proc.NewChan(fmt.Sprintf("sb-%d-%d", mt, w), 4)
 			chans[w] = ch
-			worker := proc.Loop(reqs, func(i int) []proc.Action {
-				return []proc.Action{proc.Recv{Ch: ch}, proc.Compute{Cycles: work}}
-			})
+			worker := proc.Repeat(reqs, proc.Recv{Ch: ch}, proc.Compute{Cycles: work})
 			actions = append(actions, proc.Fork{Name: "worker", Behavior: worker})
 		}
 		msgr := func() proc.Behavior {

@@ -23,12 +23,54 @@ type reqClass struct {
 }
 
 // request is one delivery attempt flowing through the open-loop server.
+// Requests are pooled on the owning openLoop: taken at arrival or retry,
+// recycled when the attempt settles, so sustained load allocates no
+// request structs.
 type request struct {
+	ol       *openLoop
 	class    int // index into openLoop.classes
 	attempt  int // 0 = first try, incremented per client retry
 	arrived  sim.Time
 	deadline sim.Time // 0 = no deadline
 	enqueued sim.Time
+	nextFree *request
+}
+
+// RunAt implements sim.Runner: a retry backoff timer expires and the
+// attempt is delivered.
+func (rq *request) RunAt(now sim.Time) { rq.ol.deliver(rq) }
+
+// newRequest takes a request from the pool.
+func (ol *openLoop) newRequest(class, attempt int) *request {
+	rq := ol.reqFree
+	if rq == nil {
+		rq = &request{ol: ol}
+	} else {
+		ol.reqFree = rq.nextFree
+		rq.nextFree = nil
+	}
+	rq.class, rq.attempt = class, attempt
+	rq.arrived, rq.deadline, rq.enqueued = 0, 0, 0
+	return rq
+}
+
+// freeRequest returns a settled request to the pool.
+func (ol *openLoop) freeRequest(rq *request) {
+	rq.nextFree = ol.reqFree
+	ol.reqFree = rq
+}
+
+// pumpRunner is the arrival pump's persistent engine callback: exactly
+// one pump event is outstanding at a time, carrying the trace-supplied
+// class name (if any) in pendingClass.
+type pumpRunner struct{ ol *openLoop }
+
+// RunAt implements sim.Runner: one base arrival lands.
+func (p *pumpRunner) RunAt(now sim.Time) {
+	ol := p.ol
+	ol.delivered++
+	ol.deliver(ol.newRequest(ol.classIndex(ol.pendingClass), 0))
+	ol.scheduleNextArrival()
 }
 
 // Attempt outcomes. Every delivered attempt terminates in exactly one:
@@ -99,6 +141,10 @@ type openLoop struct {
 	arrRng *sim.Rand
 	cliRng *sim.Rand
 
+	pump         pumpRunner
+	pendingClass string   // class name for the outstanding pump event
+	reqFree      *request // request free-list
+
 	delivered int  // base arrivals delivered so far
 	baseDone  bool // the pump has finished
 	open      int  // attempt chains not yet terminal
@@ -123,6 +169,7 @@ func installOpenLoopPool(m *cpu.Machine, cfg openLoopCfg) *openLoop {
 		cliRng:  sim.NewRand(m.Result().Seed ^ 0x636c69656e742121), // "client!!"
 		byClass: make([]perClass, len(cfg.classes)),
 	}
+	ol.pump = pumpRunner{ol: ol}
 	var actions []proc.Action
 	for i := 0; i < cfg.handlers; i++ {
 		actions = append(actions, proc.Fork{Name: fmt.Sprintf("handler-%d", i), Behavior: ol.handler()})
@@ -149,11 +196,11 @@ func (ol *openLoop) scheduleNextArrival() {
 		ol.pumpDone()
 		return
 	}
-	ol.m.Engine().PostAfter(gap, func() {
-		ol.delivered++
-		ol.deliver(&request{class: ol.classIndex(class)})
-		ol.scheduleNextArrival()
-	})
+	// The class-mix draw (classIndex) stays at delivery time, after the
+	// gap elapses, preserving the arrival RNG's draw order exactly as
+	// the pre-pooling closure did.
+	ol.pendingClass = class
+	ol.m.Engine().PostRunAfter(gap, &ol.pump)
 }
 
 func (ol *openLoop) pumpDone() {
@@ -338,10 +385,13 @@ func (ol *openLoop) settle(rq *request, outcome int, sojourn sim.Duration) {
 				Policy: ol.cfg.adm.name(), Attempt: rq.attempt + 1,
 			})
 		}
-		next := &request{class: rq.class, attempt: rq.attempt + 1}
-		ol.m.Engine().PostAfter(delay, func() { ol.deliver(next) })
+		class, attempt := rq.class, rq.attempt
+		ol.freeRequest(rq)
+		next := ol.newRequest(class, attempt+1)
+		ol.m.Engine().PostRunAfter(delay, next)
 		return
 	}
+	ol.freeRequest(rq)
 	ol.open--
 	ol.maybeShutdown()
 }

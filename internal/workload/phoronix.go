@@ -70,7 +70,7 @@ func (p ptsProfile) installStorm(m *cpu.Machine, scale float64, paperSecs float6
 			for i := 0; i < p.Storm; i++ {
 				pending = append(pending, proc.Fork{
 					Name:     "blk",
-					Behavior: proc.Script(proc.Compute{Cycles: work(r)}),
+					Behavior: proc.Once(proc.Compute{Cycles: work(r)}),
 				})
 			}
 			pending = append(pending, proc.WaitChildren{})
