@@ -23,6 +23,7 @@ import (
 	"sort"
 	"text/tabwriter"
 
+	"repro/internal/metrics"
 	"repro/internal/obs"
 	"repro/internal/sim"
 )
@@ -69,6 +70,7 @@ type analysis struct {
 	explain  *obs.Explain
 	coreG    []obs.CoreGauge
 	sockG    []obs.SocketGauge
+	fans     []obs.Fanout
 	end      sim.Time // last gauge timestamp (heatmap/series extent)
 	instants int      // distinct gauge sample times
 }
@@ -127,6 +129,8 @@ func analyze(evs []obs.Event) *analysis {
 			if e.T > a.end {
 				a.end = e.T
 			}
+		case obs.Fanout:
+			a.fans = append(a.fans, e)
 		}
 	}
 	a.events = len(evs)
@@ -166,6 +170,7 @@ func writeReport(w io.Writer, a *analysis) {
 	a.explain.WriteTo(w)
 	fmt.Fprintln(w)
 	writeOverload(w, a)
+	writeFanout(w, a)
 	writeCounters(w, a.counters)
 	for _, s := range a.sums {
 		fmt.Fprintf(w, "summary: runtime %v  energy %.1fJ  wake p50/p95/p99/p99.9 %s/%s/%s/%s  (%d wakeups)\n",
@@ -339,27 +344,38 @@ func spark(vals []float64) (string, float64) {
 // every attempt is terminal in exactly one of completed, shed or
 // timeout, so the three shares always sum to 100%. The section is
 // silent when the stream holds no overload events (closed-loop or
-// non-serving workloads).
+// non-serving workloads); a degenerate stream — overload activity but
+// zero terminal attempts, or a zero-runtime summary — renders with
+// every undefined ratio as "n/a", never as NaN and never silently
+// dropped.
 func writeOverload(w io.Writer, a *analysis) {
 	c := a.counters
 	completed, shed, timeout := c["ovl.completed"], c["ovl.shed"], c["ovl.timeout"]
 	offered := completed + shed + timeout
-	if offered == 0 {
+	retries := c["ovl.retry"]
+	if offered == 0 && !anyCounter(c, "ovl.") {
 		return
 	}
-	retries := c["ovl.retry"]
-	amp := 1.0
+	amp := "n/a"
 	if base := offered - retries; base > 0 {
-		amp = float64(offered) / float64(base)
+		amp = fmt.Sprintf("%.2fx", float64(offered)/float64(base))
 	}
-	pct := func(n int64) float64 { return 100 * float64(n) / float64(offered) }
-	fmt.Fprintf(w, "overload control (%d attempts offered, %d retries, retry amp %.2fx):\n",
+	pct := func(n int64) string {
+		if offered == 0 {
+			return "n/a"
+		}
+		return fmt.Sprintf("%.1f%%", 100*float64(n)/float64(offered))
+	}
+	fmt.Fprintf(w, "overload control (%d attempts offered, %d retries, retry amp %s):\n",
 		offered, retries, amp)
 	goodput := "n/a (no run_summary in stream)"
-	if len(a.sums) > 0 && a.sums[0].RuntimeNS > 0 {
-		goodput = fmt.Sprintf("%.0f req/s", float64(completed)/(float64(a.sums[0].RuntimeNS)/1e9))
+	if len(a.sums) > 0 {
+		goodput = "n/a (zero runtime in run_summary)"
+		if a.sums[0].RuntimeNS > 0 {
+			goodput = fmt.Sprintf("%.0f req/s", float64(completed)/(float64(a.sums[0].RuntimeNS)/1e9))
+		}
 	}
-	fmt.Fprintf(w, "  completed %d (%.1f%%)  shed %d (%.1f%%)  timeout %d (%.1f%%)  goodput %s\n",
+	fmt.Fprintf(w, "  completed %d (%s)  shed %d (%s)  timeout %d (%s)  goodput %s\n",
 		completed, pct(completed), shed, pct(shed), timeout, pct(timeout), goodput)
 	causes := ""
 	for _, action := range []string{"shed_admission", "shed_full", "shed_codel", "timeout_queue", "timeout_served"} {
@@ -376,6 +392,105 @@ func writeOverload(w io.Writer, a *analysis) {
 			fmt.Fprintf(w, "  class %-8s offered %d  completed %d (%.1f%%)  shed %d  timeout %d  retries %d\n",
 				class, off, comp, 100*float64(comp)/float64(off), sh, to, c["ovl.retry."+class])
 		}
+	}
+	fmt.Fprintln(w)
+}
+
+// anyCounter reports whether any counter under prefix was bumped —
+// the "is there activity at all" test behind the degenerate-stream
+// rendering paths.
+func anyCounter(counters map[string]int64, prefix string) bool {
+	for name, n := range counters {
+		if n > 0 && len(name) > len(prefix) && name[:len(prefix)] == prefix {
+			return true
+		}
+	}
+	return false
+}
+
+// writeFanout summarises the fan-out lifecycle (fan.* counters and
+// fanout events — see docs/ROBUSTNESS.md): the terminal breakdown of
+// subtask attempts (done / cancelled / timed out / shed — exactly one
+// per attempt), hedge volume and wins, cancellation causes, and a
+// per-stage view with the subtask latency tail and the straggler share
+// (time between a stage's median and last needed completion, as a
+// share of the stage's duration — the tail hedging exists to buy
+// back). Silent when the stream holds no fan-out events; degenerate
+// streams render with "n/a" ratios like the overload section.
+func writeFanout(w io.Writer, a *analysis) {
+	c := a.counters
+	done, cancelled := c["fan.sub_done"], c["fan.sub_cancel"]
+	timeout, shed := c["fan.sub_timeout"], c["fan.sub_shed"]
+	attempts := done + cancelled + timeout + shed
+	if attempts == 0 && !anyCounter(c, "fan.") {
+		return
+	}
+	pct := func(n int64) string {
+		if attempts == 0 {
+			return "n/a"
+		}
+		return fmt.Sprintf("%.1f%%", 100*float64(n)/float64(attempts))
+	}
+	fmt.Fprintf(w, "fan-out (%d subtask attempts, %d hedges, %d hedge wins, %d stages satisfied):\n",
+		attempts, c["fan.hedge"], c["fan.hedge_win"], c["fan.stage_done"])
+	fmt.Fprintf(w, "  done %d (%s)  cancelled %d (%s)  timeout %d (%s)  shed %d (%s)\n",
+		done, pct(done), cancelled, pct(cancelled), timeout, pct(timeout), shed, pct(shed))
+	causes := ""
+	for _, cause := range []string{"hedge_lost", "stage_over", "request_done", "doomed"} {
+		if n := c["fan.cancel."+cause]; n > 0 {
+			causes += fmt.Sprintf("  %s %d", cause, n)
+		}
+	}
+	if causes != "" {
+		fmt.Fprintf(w, "  cancel causes:%s\n", causes)
+	}
+
+	// Per-stage view from the raw events: completed-subtask latency tail
+	// plus straggle, keyed by stage index.
+	type stageAgg struct {
+		lat      metrics.LatHist
+		straggle sim.Duration
+		stageLat sim.Duration
+		stages   int64
+	}
+	byStage := make(map[int]*stageAgg)
+	var ids []int
+	for _, e := range a.fans {
+		if e.Action != "sub_done" && e.Action != "stage_done" {
+			continue
+		}
+		s, ok := byStage[e.Stage]
+		if !ok {
+			s = &stageAgg{}
+			byStage[e.Stage] = s
+			ids = append(ids, e.Stage)
+		}
+		if e.Action == "sub_done" {
+			s.lat.Add(e.Lat)
+		} else {
+			s.stages++
+			s.straggle += e.Straggle
+			s.stageLat += e.Lat
+		}
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		s := byStage[id]
+		line := fmt.Sprintf("  stage %d:", id)
+		if n := s.lat.Count(); n > 0 {
+			t := s.lat.Tail()
+			line += fmt.Sprintf(" %d done  sub p50/p95/p99 %s/%s/%s",
+				n, usNS(int64(t.P50)), usNS(int64(t.P95)), usNS(int64(t.P99)))
+		}
+		if s.stages > 0 {
+			share := "n/a"
+			if s.stageLat > 0 {
+				share = fmt.Sprintf("%.1f%%", 100*float64(s.straggle)/float64(s.stageLat))
+			}
+			line += fmt.Sprintf("  straggle mean %s (%s of stage time)",
+				usNS(int64(s.straggle)/s.stages), share)
+		}
+		fmt.Fprintln(w, line)
 	}
 	fmt.Fprintln(w)
 }

@@ -243,6 +243,114 @@ func TestReportOverloadSilentWhenAbsent(t *testing.T) {
 	}
 }
 
+// goldenDegenerate pins the empty-run degenerate path: a stream with
+// overload activity (one retry) but zero terminal attempts and a
+// zero-runtime summary. Every undefined ratio must read "n/a" — a NaN
+// or a silently dropped section is a bug.
+const goldenDegenerate = `run: demo on test4, nest-schedutil (scale 1, seed 7)
+events: 3
+
+core warmth: no gauge samples in stream (run nestsim with -sample-every or -series)
+
+placement paths (0 decisions; layered policies report each layer):
+scan cost (cores examined per placement decision):
+runtime: 0 migrations, 0 balance pulls
+
+overload control (0 attempts offered, 1 retries, retry amp n/a):
+  completed 0 (n/a)  shed 0 (n/a)  timeout 0 (n/a)  goodput n/a (zero runtime in run_summary)
+
+counters (recomputed from the event stream):
+  ovl.retry                    1
+  ovl.retry.web                1
+  runs                         1
+  summaries                    1
+
+summary: runtime 0.000000s  energy 0.0J  wake p50/p95/p99/p99.9 0.0µs/0.0µs/0.0µs/0.0µs  (0 wakeups)
+`
+
+// TestReportOverloadDegenerate is the empty-run golden: zero offered
+// attempts must never print NaN, and the activity that is present (a
+// lone retry) must still be visible.
+func TestReportOverloadDegenerate(t *testing.T) {
+	evs := []obs.Event{
+		obs.RunInfo{Machine: "test4", Scheduler: "nest", Governor: "schedutil", Workload: "demo", Scale: 1, Seed: 7},
+		obs.Overload{T: sim.Millisecond, Action: "retry", Class: "web", Attempt: 1},
+		obs.RunSummary{Machine: "test4", Scheduler: "nest", Governor: "schedutil", Workload: "demo", Seed: 7},
+	}
+	var buf bytes.Buffer
+	writeReport(&buf, analyze(roundTrip(t, evs)))
+	got := buf.String()
+	if strings.Contains(got, "NaN") {
+		t.Errorf("degenerate report contains NaN:\n%s", got)
+	}
+	if got != goldenDegenerate {
+		t.Errorf("degenerate report drifted from golden.\ngot:\n%s\nwant:\n%s\ndiff hint: got %q", got, goldenDegenerate, got)
+	}
+}
+
+// fixtureFanout is a fan-out serving stream: two stages, five subtask
+// completions (one by a hedge), a lost-hedge cancellation, a doomed
+// sibling, a stage-deadline timeout and a queue-full shed — every
+// attempt terminal in exactly one outcome.
+func fixtureFanout() []obs.Event {
+	ms := sim.Millisecond
+	return []obs.Event{
+		obs.RunInfo{Machine: "test4", Scheduler: "nest", Governor: "schedutil", Workload: "fanout/w4", Scale: 1, Seed: 7},
+		obs.Fanout{T: 1 * ms, Action: "sub_done", Class: "fan", Stage: 0, Slot: 0, Lat: ms},
+		obs.Fanout{T: 1 * ms, Action: "hedge", Class: "fan", Stage: 0, Slot: 1, Attempt: 1},
+		obs.Fanout{T: 2 * ms, Action: "sub_done", Class: "fan", Stage: 0, Slot: 1, Attempt: 1, Lat: ms},
+		obs.Fanout{T: 2 * ms, Action: "sub_cancel", Class: "fan", Stage: 0, Slot: 1, Cause: "hedge_lost"},
+		obs.Fanout{T: 2 * ms, Action: "sub_done", Class: "fan", Stage: 0, Slot: 2, Lat: ms},
+		obs.Fanout{T: 2 * ms, Action: "stage_done", Class: "fan", Stage: 0, Width: 3, Lat: 2 * ms, Straggle: ms},
+		obs.Fanout{T: 3 * ms, Action: "sub_done", Class: "fan", Stage: 1, Slot: 0, Lat: 2 * ms},
+		obs.Fanout{T: 4 * ms, Action: "sub_done", Class: "fan", Stage: 1, Slot: 1, Lat: 2 * ms},
+		obs.Fanout{T: 5 * ms, Action: "sub_timeout", Class: "fan", Stage: 1, Slot: 2, Cause: "queue"},
+		obs.Fanout{T: 5 * ms, Action: "sub_shed", Class: "fan", Stage: 1, Slot: 2, Attempt: 1},
+		obs.Fanout{T: 5 * ms, Action: "sub_cancel", Class: "fan", Stage: 1, Slot: 2, Cause: "doomed"},
+		obs.Fanout{T: 6 * ms, Action: "stage_done", Class: "fan", Stage: 1, Width: 3, Lat: 4 * ms, Straggle: 2 * ms},
+		obs.RunSummary{Machine: "test4", Scheduler: "nest", Governor: "schedutil", Workload: "fanout/w4", Seed: 7,
+			RuntimeNS: int64(100 * ms), EnergyJ: 1.0, Wakeups: 10},
+	}
+}
+
+// TestReportFanoutSection pins the fan-out summary: the terminal
+// breakdown sums to the attempt count, causes are listed, and each
+// stage row carries its completion count and straggle share.
+func TestReportFanoutSection(t *testing.T) {
+	a := analyze(roundTrip(t, fixtureFanout()))
+	var buf bytes.Buffer
+	writeReport(&buf, a)
+	out := buf.String()
+	for _, want := range []string{
+		"fan-out (9 subtask attempts, 1 hedges, 1 hedge wins, 2 stages satisfied):",
+		"done 5 (55.6%)  cancelled 2 (22.2%)  timeout 1 (11.1%)  shed 1 (11.1%)",
+		"cancel causes:  hedge_lost 1  doomed 1",
+		"stage 0: 3 done  sub p50/p95/p99 ",
+		"straggle mean 1000.0µs (50.0% of stage time)",
+		"stage 1: 2 done  sub p50/p95/p99 ",
+		"straggle mean 2000.0µs (50.0% of stage time)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestReportFanoutSilentWhenAbsent: closed-loop and plain overload
+// streams must not grow a fan-out section.
+func TestReportFanoutSilentWhenAbsent(t *testing.T) {
+	for name, evs := range map[string][]obs.Event{
+		"nest":     fixtureNest(),
+		"overload": fixtureOverload(),
+	} {
+		var buf bytes.Buffer
+		writeReport(&buf, analyze(roundTrip(t, evs)))
+		if strings.Contains(buf.String(), "fan-out") {
+			t.Errorf("%s: fan-out section rendered for a stream without fanout events:\n%s", name, buf.String())
+		}
+	}
+}
+
 // TestReportDeterministic re-runs the same analysis twice and compares
 // bytes, guarding the map-iteration hazards (counters, grid rows).
 func TestReportDeterministic(t *testing.T) {

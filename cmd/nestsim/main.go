@@ -52,6 +52,9 @@ func main() {
 		customPath   = flag.String("custom", "", "register a custom workload from a JSON spec file (see internal/workload.CustomSpec)")
 		arrivalTrace = flag.String("arrival-trace", "", "register an open-loop serving workload replaying a JSONL arrival trace ({\"t_ns\":...,\"class\":...} per line)")
 		admissionStr = flag.String("admission", "none", "admission policy for -arrival-trace: none, cap, token, codel, or a full spec like codel:target=2ms,interval=8ms")
+		fanoutStr    = flag.String("fanout", "", "register a fan-out serving workload from a spec like fanout:width=16,stages=2,agg=quorum:12 (see docs/ROBUSTNESS.md)")
+		hedgeStr     = flag.String("hedge", "", "hedging policy for -fanout: hedge:none, hedge:after=2ms,max=2, or hedge:after=p95")
+		fanoutLoad   = flag.Float64("fanout-load", 0.9, "offered load for -fanout as a fraction of pool capacity")
 		chromeOut    = flag.String("chrometrace", "", "write a decision-annotated Chrome/Perfetto trace to this file (with -runs > 1, run N goes to <name>.runN.json)")
 		eventsOut    = flag.String("events", "", "stream decision events as JSONL to this file (first run only)")
 		seriesOut    = flag.String("series", "", "write sampled gauge time series as JSONL to this file (first run only; implies -sample-every 4ms if unset)")
@@ -99,6 +102,26 @@ func main() {
 			os.Exit(1)
 		}
 		if *wlName == "configure/llvm_ninja" { // default: run the trace workload
+			*wlName = name
+		}
+	}
+
+	if *hedgeStr != "" && *fanoutStr == "" {
+		fmt.Fprintln(os.Stderr, "nestsim: -hedge needs -fanout")
+		os.Exit(2)
+	}
+	if *fanoutStr != "" {
+		const name = "fanout/custom"
+		if err := workload.RegisterFanoutWorkload(name, *fanoutStr, *hedgeStr, *fanoutLoad); err != nil {
+			fmt.Fprintln(os.Stderr, "nestsim:", err)
+			os.Exit(1)
+		}
+		hedge := *hedgeStr
+		if hedge == "" {
+			hedge = "hedge:none"
+		}
+		fmt.Printf("registered %s: %s %s at %gx capacity\n", name, *fanoutStr, hedge, *fanoutLoad)
+		if *wlName == "configure/llvm_ninja" { // default: run the fan-out workload
 			*wlName = name
 		}
 	}
@@ -395,6 +418,14 @@ func printResults(rs experiments.RunSpec, results []*metrics.Result) {
 			offered, r0.Custom["ovl_goodput"],
 			100*r0.Custom["ovl_shed"]/offered, 100*r0.Custom["ovl_timeout"]/offered,
 			r0.Custom["ovl_amp"])
+	}
+	if issued := r0.Custom["fan_issued"]; issued > 0 {
+		fmt.Printf("  fan-out      subtasks %.0f  done %.1f%%  cancelled %.1f%%  timeout %.1f%%  shed %.1f%%  hedges %.0f (wins %.0f)  straggle %.0fµs\n",
+			issued,
+			100*r0.Custom["fan_done"]/issued, 100*r0.Custom["fan_cancelled"]/issued,
+			100*r0.Custom["fan_timeout"]/issued, 100*r0.Custom["fan_shed"]/issued,
+			r0.Custom["fan_hedges"], r0.Custom["fan_hedge_wins"],
+			r0.Custom["fan_straggle_us"])
 	}
 	fmt.Printf("  freq distribution (busy-core time):\n")
 	for i := range r0.FreqHist.Weight {

@@ -429,6 +429,10 @@ type nestSizer interface {
 // external events (request arrivals).
 func (m *Machine) Engine() *sim.Engine { return m.eng }
 
+// Checker returns the bound invariant checker (nil when the run checks
+// nothing); workloads register domain probes against it.
+func (m *Machine) Checker() *invariant.Checker { return m.cfg.Check }
+
 // OnExit registers an additional task-exit observer (multi-application
 // workloads use it to record per-application completion times).
 func (m *Machine) OnExit(fn func(*proc.Task)) {

@@ -20,12 +20,12 @@ import (
 type evKind uint8
 
 const (
-	evEnqueue evKind = iota // placement latency elapsed: enqueue task on core
-	evTimerWake             // sleep timer expiry for task
-	evSpinExpire            // idle-spin window for core ended at until
-	evSpinRelease           // barrier release of an active-waiting task
-	evBarrierWake           // futex-style barrier wakeup of task via waker core
-	evSmoveTimer            // smove migration timer: move task to core if still queued
+	evEnqueue     evKind = iota // placement latency elapsed: enqueue task on core
+	evTimerWake                 // sleep timer expiry for task
+	evSpinExpire                // idle-spin window for core ended at until
+	evSpinRelease               // barrier release of an active-waiting task
+	evBarrierWake               // futex-style barrier wakeup of task via waker core
+	evSmoveTimer                // smove migration timer: move task to core if still queued
 )
 
 // evRec is one pooled fire-and-forget event. A record is taken from the

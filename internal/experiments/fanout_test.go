@@ -1,0 +1,147 @@
+package experiments
+
+import (
+	"encoding/json"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/checkpoint"
+	"repro/internal/invariant"
+	"repro/internal/obs"
+	"repro/internal/workload"
+)
+
+func TestFanoutExperimentRegistered(t *testing.T) {
+	if _, err := ByID("fanout"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFanoutExperimentSmoke runs the fan-out grid small and checks the
+// report shape: one row per width x load x hedge x scheduler, clean
+// invariants in every cell, and hedges appearing only in hedged rows.
+func TestFanoutExperimentSmoke(t *testing.T) {
+	e, err := ByID("fanout")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := e.Run(Options{Scale: 0.02, Runs: 1, Machines: []string{"6130-2"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Sections) != 1 {
+		t.Fatalf("got %d sections", len(rep.Sections))
+	}
+	sec := rep.Sections[0]
+	want := len(workload.FanoutWidths) * len(workload.FanoutFactors) * len(workload.FanoutHedges) * len(fanoutConfigs)
+	if len(sec.Rows) != want {
+		t.Fatalf("got %d rows, want %d", len(sec.Rows), want)
+	}
+	for _, row := range sec.Rows {
+		if row[len(row)-1] != "0" { // violations column
+			t.Errorf("%s/%s/%s/%s reported %s violations", row[0], row[1], row[2], row[3], row[len(row)-1])
+		}
+		if row[4] == "" || strings.HasPrefix(row[4], "0 ") {
+			t.Errorf("%s/%s/%s/%s has no goodput: %q", row[0], row[1], row[2], row[3], row[4])
+		}
+		hedges := row[6]
+		if row[2] == "none" && hedges != "0" {
+			t.Errorf("unhedged row %s/%s/%s fired %s hedges", row[0], row[1], row[3], hedges)
+		}
+		if row[2] == "p95" && hedges == "0" {
+			t.Errorf("hedged row %s/%s/%s fired no hedges", row[0], row[1], row[3])
+		}
+	}
+}
+
+// fanoutGrid is the fan-out byte-identity fixture: hedged and unhedged
+// cells, both schedulers, faults on, invariants on, fresh per-cell
+// observers so the grid is parallel-safe.
+func fanoutGrid() []RunSpec {
+	var specs []RunSpec
+	for _, sched := range []string{"cfs", "nest"} {
+		for _, hedge := range []string{"none", "p95"} {
+			for _, faults := range []string{"", "off:c2@2ms+10ms"} {
+				specs = append(specs, RunSpec{
+					Machine: "6130-2", Scheduler: sched, Governor: "schedutil",
+					Workload: workload.FanoutMixName(16, 0.7, hedge), Scale: 0.01, Seed: 3,
+					Faults: faults,
+					Obs:    obs.New(),
+					Check:  invariant.New(),
+				})
+			}
+		}
+	}
+	return specs
+}
+
+// TestFanoutParallelMatchesSerial: the fan-out cells — hedge timers,
+// cancellation, per-stage deadlines and all — must replay byte for byte
+// under a parallel pool.
+func TestFanoutParallelMatchesSerial(t *testing.T) {
+	serial, err := RunGrid(fanoutGrid(), PoolOptions{Workers: 1})
+	if err != nil {
+		t.Fatalf("serial grid: %v", err)
+	}
+	parallel, err := RunGrid(fanoutGrid(), PoolOptions{Workers: 4})
+	if err != nil {
+		t.Fatalf("parallel grid: %v", err)
+	}
+	for i := range serial {
+		sb, _ := json.Marshal(serial[i])
+		pb, _ := json.Marshal(parallel[i])
+		if string(sb) != string(pb) {
+			t.Errorf("cell %d: parallel bytes differ from serial\nserial:   %s\nparallel: %s", i, sb, pb)
+		}
+	}
+}
+
+// TestFanoutJournalResumeMatchesSerial kills the fan-out grid halfway
+// through (journal closed between cells), resumes from the journal, and
+// requires the stitched run to match the uninterrupted one byte for
+// byte.
+func TestFanoutJournalResumeMatchesSerial(t *testing.T) {
+	serial, err := RunGrid(fanoutGrid(), PoolOptions{Workers: 1})
+	if err != nil {
+		t.Fatalf("serial grid: %v", err)
+	}
+
+	path := filepath.Join(t.TempDir(), "fanout.journal")
+	const scope = "fanout grid"
+	j, err := checkpoint.Create(path, scope)
+	if err != nil {
+		t.Fatal(err)
+	}
+	half := fanoutGrid()[:len(serial)/2]
+	if _, err := RunGrid(half, PoolOptions{Workers: 2, Journal: j}); err != nil {
+		t.Fatalf("first half: %v", err)
+	}
+	j.Close() // the process "dies" here
+
+	j2, rep, err := checkpoint.Resume(path, scope)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if len(rep.Done) != len(half) {
+		t.Fatalf("journal replayed %d cells, want %d", len(rep.Done), len(half))
+	}
+	var st GridStats
+	resumed, err := RunGrid(fanoutGrid(), PoolOptions{
+		Workers: 2, Journal: j2, Done: rep.Done, Stats: &st,
+	})
+	if err != nil {
+		t.Fatalf("resumed grid: %v", err)
+	}
+	if st.Skipped.Load() != int64(len(half)) {
+		t.Errorf("skipped %d cells from the journal, want %d", st.Skipped.Load(), len(half))
+	}
+	for i := range serial {
+		sb, _ := json.Marshal(serial[i])
+		rb, _ := json.Marshal(resumed[i])
+		if string(sb) != string(rb) {
+			t.Errorf("cell %d: resumed bytes differ from serial\nserial:  %s\nresumed: %s", i, sb, rb)
+		}
+	}
+}

@@ -1,0 +1,59 @@
+package invariant_test
+
+import (
+	"testing"
+
+	"repro/internal/cfs"
+	"repro/internal/cpu"
+	"repro/internal/fault"
+	"repro/internal/governor"
+	"repro/internal/invariant"
+	"repro/internal/machine"
+	"repro/internal/workload"
+)
+
+// TestFanoutRunKeepsInvariants drives a hedged fan-out workload through
+// the structural sweep plus the workload's own fanout_conservation
+// probe, with and without faults. Losing a core mid-stage and clamping
+// a socket's frequency stress exactly the paths where a subtask attempt
+// could leak — cancelled twice, or stranded outstanding forever — so
+// the probe must stay clean and both accounting levels must conserve:
+// every parent and every subtask attempt terminal in exactly one
+// outcome.
+func TestFanoutRunKeepsInvariants(t *testing.T) {
+	for _, plan := range []string{"", "off:c2@3ms+10ms,throttle:s0@2ms+10ms=1.8GHz"} {
+		w, err := workload.ByName("fanout/w16-0.7-p95")
+		if err != nil {
+			t.Fatal(err)
+		}
+		chk := invariant.New()
+		m := cpu.New(cpu.Config{
+			Spec: machine.IntelXeon6130(2), Gov: governor.Schedutil{},
+			Policy: cfs.Default(), Seed: 6, Check: chk,
+		})
+		p, err := fault.Parse(plan)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.Apply(m)
+		w.Install(m, 0.02)
+		res := m.Run(0)
+		if res.Custom["truncated"] != 0 {
+			t.Fatalf("plan %q: run truncated", plan)
+		}
+		if n := chk.Total(); n != 0 {
+			t.Fatalf("plan %q: %d invariant violations, first: %v", plan, n, chk.Violations()[0])
+		}
+		offered := res.Custom["ovl_offered"]
+		settled := res.Custom["ovl_completed"] + res.Custom["ovl_timeout"] + res.Custom["ovl_shed"]
+		if offered == 0 || offered != settled {
+			t.Fatalf("plan %q: parent conservation broken: offered %g, settled %g", plan, offered, settled)
+		}
+		issued := res.Custom["fan_issued"]
+		terminal := res.Custom["fan_done"] + res.Custom["fan_cancelled"] +
+			res.Custom["fan_timeout"] + res.Custom["fan_shed"]
+		if issued == 0 || issued != terminal {
+			t.Fatalf("plan %q: subtask conservation broken: issued %g, terminal %g", plan, issued, terminal)
+		}
+	}
+}

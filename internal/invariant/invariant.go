@@ -26,6 +26,10 @@
 //     masks are disjoint and confined to online cores.
 //   - freq_above_cap: no core's frequency exceeds its turbo-ladder cap
 //     clamped by any active thermal throttle.
+//
+// Beyond the structural sweep, workloads can register domain probes
+// (RegisterProbe) checked at the same cadence — e.g. the fan-out
+// workloads' fanout_conservation rule (internal/workload).
 package invariant
 
 import (
@@ -106,6 +110,13 @@ type Checker struct {
 	total      int
 	violations []Violation
 	seen       map[proc.TaskID]int // per-sweep occurrence scratch
+	probes     []probe
+}
+
+// probe is one registered domain invariant (see RegisterProbe).
+type probe struct {
+	rule string
+	fn   func() string
 }
 
 // New returns an unbound checker.
@@ -125,9 +136,20 @@ func (c *Checker) Bind(st State, policy any) {
 	c.nest = nil
 	c.lastNow = 0
 	c.seen = make(map[proc.TaskID]int)
+	c.probes = nil
 	if nv, ok := policy.(NestView); ok {
 		c.nest = nv
 	}
+}
+
+// RegisterProbe adds a domain invariant swept alongside the structural
+// ones: fn returns "" while the invariant holds, or a violation detail.
+// Workloads register probes after the machine binds the checker (e.g.
+// fanout_conservation: every issued subtask attempt is terminal in
+// exactly one outcome or still outstanding); Bind clears them, so each
+// run registers its own.
+func (c *Checker) RegisterProbe(rule string, fn func() string) {
+	c.probes = append(c.probes, probe{rule: rule, fn: fn})
 }
 
 // Checks returns how many sweeps have run.
@@ -237,6 +259,12 @@ func (c *Checker) Check() {
 		}
 		if occ > 1 {
 			c.report("double_run", "task %d (%s) appears %d times across run queues", t.ID, t.Name, occ)
+		}
+	}
+
+	for _, p := range c.probes {
+		if detail := p.fn(); detail != "" {
+			c.report(p.rule, "%s", detail)
 		}
 	}
 }

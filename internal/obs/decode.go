@@ -35,6 +35,7 @@ var decodable = map[string]func([]byte) (Event, error){
 	"invariant_violation": dec[InvariantViolation],
 	"tick_balance":        dec[TickBalance],
 	"overload":            dec[Overload],
+	"fanout":              dec[Fanout],
 	"core_gauge":          dec[CoreGauge],
 	"nest_gauge":          dec[NestGauge],
 	"socket_gauge":        dec[SocketGauge],

@@ -21,6 +21,7 @@ func allEventKinds() []Event {
 		Fault{T: 10 * sim.Millisecond, Action: "offline", Core: 2, Socket: -1, Tasks: 3},
 		InvariantViolation{T: 11 * sim.Millisecond, Rule: "single_core", Detail: "task 7 on 2 cores"},
 		Overload{T: 11 * sim.Millisecond, Action: "shed_codel", Class: "web", Policy: "codel:target=2ms,interval=8ms", Attempt: 1, Sojourn: 3 * sim.Millisecond},
+		Fanout{T: 11 * sim.Millisecond, Action: "sub_cancel", Class: "fan", Stage: 1, Slot: 3, Attempt: 1, Cause: "hedge_lost", Width: 16, Lat: 2 * sim.Millisecond, Straggle: sim.Millisecond},
 		TickBalance{T: 12 * sim.Millisecond, From: 1, To: 2, Task: 7, TaskName: "h-0", Kind2: "newidle"},
 		CoreGauge{T: 13 * sim.Millisecond, Core: 3, State: "busy", FreqMHz: 3700, Queue: 2},
 		NestGauge{T: 13 * sim.Millisecond, Primary: 4, Reserve: 2},

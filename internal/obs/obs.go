@@ -364,6 +364,52 @@ func (e Overload) count(c *Counters) {
 	}
 }
 
+// Fanout is one fan-out lifecycle action at an open-loop server (see
+// docs/ROBUSTNESS.md): Action is "sub_done" (a subtask attempt
+// completed within its stage budget — Lat is its queue+service
+// latency; Attempt > 0 means a hedge won the slot), "sub_cancel" (the
+// attempt stopped mattering — Cause is "hedge_lost", "stage_over",
+// "request_done" or "doomed"; Lat > 0 marks work wasted in service),
+// "sub_timeout" (stage deadline blown — Cause "queue" or "served"),
+// "sub_shed" (bounded queue full at issue), "hedge" (a duplicate
+// attempt issued for a straggling slot — Attempt numbers it), or
+// "stage_done" (a stage's aggregation rule satisfied — Lat is the
+// stage duration, Straggle the gap from the median slot completion to
+// the one that satisfied the rule). Stage/Slot locate the action in
+// the fan; Width is the fan width (stage_done only).
+type Fanout struct {
+	T        sim.Time     `json:"t_ns"`
+	Action   string       `json:"action"`
+	Class    string       `json:"class"`
+	Stage    int          `json:"stage"`
+	Slot     int          `json:"slot,omitempty"`
+	Attempt  int          `json:"attempt,omitempty"`
+	Cause    string       `json:"cause,omitempty"`
+	Width    int          `json:"width,omitempty"`
+	Lat      sim.Duration `json:"lat_ns,omitempty"`
+	Straggle sim.Duration `json:"straggle_ns,omitempty"`
+}
+
+// Kind implements Event.
+func (Fanout) Kind() string { return "fanout" }
+
+func (e Fanout) count(c *Counters) {
+	switch e.Action {
+	case "sub_done":
+		c.Add("fan.sub_done", 1)
+		if e.Attempt > 0 {
+			c.Add("fan.hedge_win", 1)
+		}
+	case "sub_cancel":
+		c.Add("fan.sub_cancel", 1)
+		c.Add("fan.cancel."+e.Cause, 1)
+	case "hedge":
+		c.Add("fan.hedge", 1)
+	default: // sub_timeout, sub_shed, stage_done
+		c.Add("fan."+e.Action, 1)
+	}
+}
+
 // TickBalance is a load-balance pull: Kind2 is "newidle" (idle-entry
 // pull) or "periodic" (tick-driven balance pass).
 type TickBalance struct {

@@ -243,4 +243,3 @@ func TestEngineDifferentialRandom(t *testing.T) {
 		compareOracleLogs(t, data)
 	}
 }
-

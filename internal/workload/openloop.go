@@ -33,6 +33,13 @@ type request struct {
 	arrived  sim.Time
 	deadline sim.Time // 0 = no deadline
 	enqueued sim.Time
+	// fan marks a subtask attempt of a fan-out parent (fanout.go):
+	// slot/fstage locate it in the fan, hedgeN numbers duplicates
+	// (0 = the slot's primary attempt).
+	fan      *fanReq
+	slot     int
+	fstage   int
+	hedgeN   int
 	nextFree *request
 }
 
@@ -51,6 +58,7 @@ func (ol *openLoop) newRequest(class, attempt int) *request {
 	}
 	rq.class, rq.attempt = class, attempt
 	rq.arrived, rq.deadline, rq.enqueued = 0, 0, 0
+	rq.fan, rq.slot, rq.fstage, rq.hedgeN = nil, 0, 0, 0
 	return rq
 }
 
@@ -85,6 +93,11 @@ const (
 	outShedAdmission
 	outShedFull
 	outShedCodel
+	// Fan-out parents (fanout.go): the request was doomed because its
+	// aggregation rule became unsatisfiable — a needed subtask slot
+	// blew its stage deadline budget, or was shed with no hedge left.
+	outTimeoutFanout
+	outShedFanout
 )
 
 // outName maps outcomes to the obs Overload event's action strings.
@@ -95,6 +108,8 @@ var outName = [...]string{
 	outShedAdmission: "shed_admission",
 	outShedFull:      "shed_full",
 	outShedCodel:     "shed_codel",
+	outTimeoutFanout: "timeout_fanout",
+	outShedFanout:    "shed_fanout",
 }
 
 // openLoopCfg parameterises an open-loop serving pool.
@@ -108,6 +123,12 @@ type openLoopCfg struct {
 	maxRetries int
 	backoff    sim.Duration // retry backoff base (doubles per attempt)
 	classes    []reqClass
+	// fan enables the fan-out request lifecycle (fanout.go): admitted
+	// parents spawn fan.Width subtask attempts per stage instead of
+	// entering the queue themselves; hedge is the duplicate-issue
+	// policy for straggling slots.
+	fan   *FanoutSpec
+	hedge HedgeSpec
 	// endToEnd selects what SLO accounting measures: queue wait plus
 	// service (the overload suite) or service only (the classic §5.6
 	// server profiles, preserving their semantics).
@@ -154,7 +175,22 @@ type openLoop struct {
 	offered, completed, timedOut, shed, retries int64
 	shedAdmission, shedFull, shedCodel          int64
 	timeoutQueue, timeoutServed                 int64
+	timeoutFanout, shedFanout                   int64
 	byClass                                     []perClass
+
+	// Fan-out state (fanout.go): record pools, the completed-subtask
+	// latency histogram feeding percentile hedges, and subtask-attempt
+	// conservation accounting (issued == terminal + outstanding,
+	// asserted by the fanout_conservation invariant probe).
+	fanFree                          *fanReq
+	htFree                           *hedgeTimer
+	fanLat                           metrics.LatHist
+	fanIssued, fanDone, fanCancelled int64
+	fanTimeout, fanShed              int64
+	fanHedges, fanHedgeWins          int64
+	fanOutstanding                   int64
+	fanStraggleSum                   sim.Duration
+	fanStages                        int64
 }
 
 // installOpenLoopPool wires the pool into the machine: handlers under a
@@ -178,6 +214,11 @@ func installOpenLoopPool(m *cpu.Machine, cfg openLoopCfg) *openLoop {
 	m.Spawn("server-main", proc.Script(actions...))
 	for _, cl := range cfg.classes {
 		cl.acc.finishOn(m, "server-main")
+	}
+	if cfg.fan != nil {
+		if chk := m.Checker(); chk != nil {
+			chk.RegisterProbe("fanout_conservation", ol.fanProbe)
+		}
 	}
 	ol.finishOn()
 	ol.scheduleNextArrival()
@@ -250,6 +291,13 @@ func (ol *openLoop) deliver(rq *request) {
 		ol.settle(rq, outShedAdmission, 0)
 		return
 	}
+	if ol.cfg.fan != nil {
+		// Fan-out parents never occupy the queue themselves: admission
+		// is request-level, then the stage's subtask attempts carry the
+		// work (and the queue entries) from here.
+		ol.startFanout(rq)
+		return
+	}
 	if !ol.m.InjectSend(ol.ch, false) {
 		if h := ol.m.Obs(); h.Enabled() {
 			h.Count("server.queue_full", 1)
@@ -295,6 +343,17 @@ func (ol *openLoop) handler() proc.Behavior {
 					return proc.Exit{} // shutdown sentinel
 				}
 				now := t.Now
+				if rq.fan != nil {
+					// Subtask attempt: cancellation and the stage
+					// deadline replace CoDel-style dequeue drops.
+					if ol.subAtDequeue(rq, now) {
+						state = stRecv
+						continue
+					}
+					cur, svcStart = rq, now
+					state = stServed
+					return proc.Compute{Cycles: ol.cfg.classes[rq.class].svc(r)}
+				}
 				sojourn := sim.Duration(now - rq.enqueued)
 				if ol.cfg.adm.dropAtDequeue(now, sojourn, len(ol.queue)) {
 					ol.settle(rq, outShedCodel, sojourn)
@@ -314,6 +373,10 @@ func (ol *openLoop) handler() proc.Behavior {
 				cur = nil
 				now := t.Now
 				state = stRecv
+				if rq.fan != nil {
+					ol.subServed(rq, now)
+					continue
+				}
 				if rq.deadline > 0 && now > rq.deadline {
 					ol.settle(rq, outTimeoutServed, sim.Duration(now-rq.enqueued))
 					continue
@@ -359,6 +422,14 @@ func (ol *openLoop) settle(rq *request, outcome int, sojourn sim.Duration) {
 	case outShedCodel:
 		ol.shed++
 		ol.shedCodel++
+		st.shed++
+	case outTimeoutFanout:
+		ol.timedOut++
+		ol.timeoutFanout++
+		st.timedOut++
+	case outShedFanout:
+		ol.shed++
+		ol.shedFanout++
 		st.shed++
 	}
 	cl := &ol.cfg.classes[rq.class]
@@ -452,6 +523,19 @@ func (ol *openLoop) finishOn() {
 		}
 		if secs := ol.m.Engine().Now().Seconds(); secs > 0 {
 			res.SetCustom("ovl_goodput", float64(ol.completed)/secs)
+		}
+		if ol.cfg.fan != nil {
+			res.SetCustom("fan_issued", float64(ol.fanIssued))
+			res.SetCustom("fan_done", float64(ol.fanDone))
+			res.SetCustom("fan_cancelled", float64(ol.fanCancelled))
+			res.SetCustom("fan_timeout", float64(ol.fanTimeout))
+			res.SetCustom("fan_shed", float64(ol.fanShed))
+			res.SetCustom("fan_hedges", float64(ol.fanHedges))
+			res.SetCustom("fan_hedge_wins", float64(ol.fanHedgeWins))
+			if ol.fanStages > 0 {
+				res.SetCustom("fan_straggle_us",
+					float64(ol.fanStraggleSum)/float64(ol.fanStages)/float64(sim.Microsecond))
+			}
 		}
 	})
 }

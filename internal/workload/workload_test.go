@@ -42,6 +42,7 @@ func TestRegistryComplete(t *testing.T) {
 		"server":      9,
 		"multi":       1,
 		"overload":    13,
+		"fanout":      9,
 	}
 	for suite, n := range want {
 		if counts[suite] != n {
