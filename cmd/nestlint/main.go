@@ -4,7 +4,7 @@
 //
 // Standalone:
 //
-//	go run ./cmd/nestlint [-json] [-fix] [packages...]   (default ./...)
+//	go run ./cmd/nestlint [-json|-sarif] [-unused-directives] [-fix] [packages...]   (default ./...)
 //
 // As a go vet tool (analyzes test files' packages too, but the suite
 // skips *_test.go sources by design):
@@ -20,6 +20,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"repro/internal/analysis"
@@ -46,14 +47,20 @@ func main() {
 	}
 
 	jsonOut := flag.Bool("json", false, "emit diagnostics as JSON on stdout")
+	sarifOut := flag.Bool("sarif", false, "emit diagnostics as SARIF 2.1.0 on stdout")
+	unusedDirectives := flag.Bool("unused-directives", false, "also report //lint: comments that suppress nothing")
 	fix := flag.Bool("fix", false, "apply mechanical fixes (sorted-keys rewrite for maporder)")
 	list := flag.Bool("list", false, "list analyzers and their contracts")
 	dir := flag.String("C", ".", "directory to run `go list` from (module root)")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: nestlint [-json] [-fix] [-list] [-C dir] [packages...]\n")
+		fmt.Fprintf(os.Stderr, "usage: nestlint [-json|-sarif] [-unused-directives] [-fix] [-list] [-C dir] [packages...]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
+	if *jsonOut && *sarifOut {
+		fmt.Fprintln(os.Stderr, "nestlint: -json and -sarif are mutually exclusive")
+		os.Exit(2)
+	}
 
 	if *list {
 		for _, a := range analysis.Suite() {
@@ -89,7 +96,15 @@ func main() {
 		diags = analysis.RunAnalyzers(pkgs, analysis.Suite())
 	}
 
-	if *jsonOut {
+	if *unusedDirectives {
+		// Stale-allowlist detection needs the analyzers' Used marks, so
+		// it always follows the full suite run; one pass covers every
+		// //lint: comment in the loaded packages.
+		diags = append(diags, analysis.UnusedDirectives(pkgs)...)
+	}
+
+	switch {
+	case *jsonOut:
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if diags == nil {
@@ -99,7 +114,16 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)
 		}
-	} else {
+	case *sarifOut:
+		base, err := filepath.Abs(*dir)
+		if err != nil {
+			base = *dir
+		}
+		if err := analysis.WriteSARIF(os.Stdout, base, analysis.Suite(), diags); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	default:
 		for _, d := range diags {
 			fixable := ""
 			if d.Fix != nil {

@@ -97,6 +97,59 @@ func TestCLI(t *testing.T) {
 		}
 	})
 
+	t.Run("SARIFOnCleanPackage", func(t *testing.T) {
+		out, err := exec.Command(bin, "-C", root, "-sarif", "./internal/sim").Output()
+		if err != nil {
+			t.Fatalf("nestlint -sarif ./internal/sim: %v", err)
+		}
+		var log struct {
+			Version string `json:"version"`
+			Runs    []struct {
+				Results []any `json:"results"`
+			} `json:"runs"`
+		}
+		if err := json.Unmarshal(out, &log); err != nil {
+			t.Fatalf("-sarif output is not valid JSON: %v\n%s", err, out)
+		}
+		if log.Version != "2.1.0" || len(log.Runs) != 1 {
+			t.Fatalf("-sarif output is not a single-run SARIF 2.1.0 log:\n%s", out)
+		}
+		if log.Runs[0].Results == nil || len(log.Runs[0].Results) != 0 {
+			t.Errorf("clean package produced SARIF results: %v", log.Runs[0].Results)
+		}
+	})
+
+	t.Run("JSONAndSARIFExclusive", func(t *testing.T) {
+		err := exec.Command(bin, "-json", "-sarif", "./internal/sim").Run()
+		ee, ok := err.(*exec.ExitError)
+		if !ok || ee.ExitCode() != 2 {
+			t.Errorf("-json -sarif together: err=%v, want exit status 2", err)
+		}
+	})
+
+	t.Run("UnusedDirectiveExitsOne", func(t *testing.T) {
+		// A reasoned //lint: comment that suppresses nothing must fail
+		// the run under -unused-directives and pass without it.
+		seed := filepath.Join(root, "internal", "cfs", "lintseed_stale_directive.go")
+		src := "package cfs\n\n//lint:simtime justified once, code since rewritten\nvar lintSeedStale int\n"
+		if err := os.WriteFile(seed, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		defer os.Remove(seed)
+		if out, err := exec.Command(bin, "-C", root, "./internal/cfs").CombinedOutput(); err != nil {
+			t.Fatalf("stale directive failed the run without -unused-directives: %v\n%s", err, out)
+		}
+		cmd := exec.Command(bin, "-C", root, "-unused-directives", "./internal/cfs")
+		out, err := cmd.CombinedOutput()
+		ee, ok := err.(*exec.ExitError)
+		if !ok || ee.ExitCode() != 1 {
+			t.Fatalf("-unused-directives on stale comment: err=%v, want exit status 1\n%s", err, out)
+		}
+		if !strings.Contains(string(out), "unused-directive") || !strings.Contains(string(out), "lintseed_stale_directive.go:3") {
+			t.Errorf("diagnostic missing pseudo-analyzer name or file:line of the stale comment:\n%s", out)
+		}
+	})
+
 	t.Run("SeededViolationExitsOne", func(t *testing.T) {
 		// A wall-clock call seeded into internal/cfs must fail the run —
 		// the same behavior the CI lint job relies on.

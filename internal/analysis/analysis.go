@@ -203,6 +203,53 @@ func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 	return diags
 }
 
+// UnusedDirectiveAnalyzer is the pseudo-analyzer name carried by
+// diagnostics from UnusedDirectives, so they sort and render uniformly
+// with real findings.
+const UnusedDirectiveAnalyzer = "unused-directive"
+
+// UnusedDirectives reports every //lint: comment that suppressed
+// nothing during a preceding RunAnalyzers pass over pkgs: one
+// diagnostic per comment, at the comment's own file:line, sorted like
+// analyzer findings. A suppression that outlives the finding it
+// documented is stale — its justification now asserts something the
+// code no longer does — so it must be deleted rather than quietly
+// retained. Reasonless //lint: comments are inert by design (Reportf
+// refuses them) and are reported here too: whatever they were meant to
+// cover, they do nothing.
+func UnusedDirectives(pkgs []*Package) []Diagnostic {
+	seen := map[string]bool{}
+	var out []Diagnostic
+	for _, pkg := range pkgs {
+		for _, s := range pkg.Suppressions {
+			if s.Used {
+				continue
+			}
+			key := fmt.Sprintf("%s:%d", s.File, s.Line)
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			msg := fmt.Sprintf("stale //lint:%s comment: suppresses nothing; delete it", strings.Join(s.Keys, ","))
+			if s.Reason == "" {
+				msg = fmt.Sprintf("inert //lint:%s comment: it has no justification and suppresses nothing; delete it or add a reason", strings.Join(s.Keys, ","))
+			}
+			out = append(out, Diagnostic{
+				Analyzer: UnusedDirectiveAnalyzer,
+				Pos:      token.Position{Filename: s.File, Line: s.Line, Column: 1},
+				Message:  msg,
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Pos.Filename != out[j].Pos.Filename {
+			return out[i].Pos.Filename < out[j].Pos.Filename
+		}
+		return out[i].Pos.Line < out[j].Pos.Line
+	})
+	return out
+}
+
 // ---- shared AST/type helpers used by several analyzers --------------
 
 // isTestFile reports whether the file holding pos is a _test.go file.

@@ -3,6 +3,7 @@ package analysis
 import (
 	"go/parser"
 	"go/token"
+	"strings"
 	"testing"
 )
 
@@ -58,6 +59,36 @@ func TestSuppressionMatching(t *testing.T) {
 	// A reasonless comment is found but inert (Report appends a hint).
 	if s := pkg.suppressionAt("maporder", token.Position{Filename: "f.go", Line: 21}); s == nil || s.Reason != "" {
 		t.Error("reasonless suppression should be returned with empty reason")
+	}
+}
+
+func TestUnusedDirectives(t *testing.T) {
+	pkgs := []*Package{
+		{Suppressions: []*Suppression{
+			{Keys: []string{"simtime"}, Reason: "documented", Line: 10, File: "b.go", Used: true},
+			{Keys: []string{"maporder"}, Reason: "stale claim", Line: 30, File: "b.go"},
+			{Keys: []string{"obsguard"}, Reason: "", Line: 5, File: "a.go"},
+		}},
+		// A second load unit sharing a file must not duplicate reports.
+		{Suppressions: []*Suppression{
+			{Keys: []string{"maporder"}, Reason: "stale claim", Line: 30, File: "b.go"},
+		}},
+	}
+	got := UnusedDirectives(pkgs)
+	if len(got) != 2 {
+		t.Fatalf("got %d diagnostics, want 2: %+v", len(got), got)
+	}
+	// Sorted by file then line; used suppressions never reported.
+	if got[0].Pos.Filename != "a.go" || got[0].Pos.Line != 5 || !strings.Contains(got[0].Message, "inert") {
+		t.Errorf("reasonless directive reported wrong: %+v", got[0])
+	}
+	if got[1].Pos.Filename != "b.go" || got[1].Pos.Line != 30 || !strings.Contains(got[1].Message, "stale") {
+		t.Errorf("stale directive reported wrong: %+v", got[1])
+	}
+	for _, d := range got {
+		if d.Analyzer != UnusedDirectiveAnalyzer {
+			t.Errorf("diagnostic analyzer = %q, want %q", d.Analyzer, UnusedDirectiveAnalyzer)
+		}
 	}
 }
 

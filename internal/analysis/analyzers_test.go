@@ -46,3 +46,15 @@ func TestObsguard(t *testing.T) {
 func TestPostdiscipline(t *testing.T) {
 	antest.Run(t, analysis.Postdiscipline, "postdiscipline", "repro/internal/smove/lintfixture")
 }
+
+func TestPoollife(t *testing.T) {
+	antest.Run(t, analysis.Poollife, "poollife", "repro/internal/sim/lintfixture")
+}
+
+func TestGenguard(t *testing.T) {
+	antest.Run(t, analysis.Genguard, "genguard", "repro/internal/workload/lintfixture")
+}
+
+func TestEngineown(t *testing.T) {
+	antest.Run(t, analysis.Engineown, "engineown", "repro/internal/sim/lintfixture")
+}

@@ -45,11 +45,9 @@ func TestRepoIsNestlintClean(t *testing.T) {
 	// Every //lint: allowlist comment must still be load-bearing:
 	// a suppression that no longer matches a diagnostic is stale and
 	// should be deleted rather than quietly outlive its justification.
-	for _, pkg := range pkgs {
-		for _, s := range pkg.Suppressions {
-			if s.Reason != "" && !s.Used {
-				t.Errorf("%s:%d: stale //lint:%v comment: suppresses nothing; delete it", s.File, s.Line, s.Keys)
-			}
-		}
+	// UnusedDirectives reports them all in the same pass, including
+	// reasonless (inert) ones and comments with misspelled keys.
+	for _, d := range analysis.UnusedDirectives(pkgs) {
+		t.Errorf("%s: [%s] %s", d.Pos, d.Analyzer, d.Message)
 	}
 }

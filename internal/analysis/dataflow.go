@@ -1,0 +1,378 @@
+package analysis
+
+// Dataflow engines over the CFGs built in cfg.go: dominance and
+// reaching definitions over go/types objects, plus the small bitset
+// representation both share. These are the primitives the
+// pooled-record analyzers (poollife, genguard) are built on.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// ---- bitsets --------------------------------------------------------
+
+// A bitset is a fixed-capacity set of small non-negative ints.
+type bitset []uint64
+
+func newBitset(n int) bitset { return make(bitset, (n+63)/64) }
+
+func (b bitset) set(i int)      { b[i>>6] |= 1 << (i & 63) }
+func (b bitset) clear(i int)    { b[i>>6] &^= 1 << (i & 63) }
+func (b bitset) has(i int) bool { return b[i>>6]&(1<<(i&63)) != 0 }
+
+func (b bitset) clone() bitset {
+	c := make(bitset, len(b))
+	copy(c, b)
+	return c
+}
+
+func (b bitset) fill() {
+	for i := range b {
+		b[i] = ^uint64(0)
+	}
+}
+
+// or sets b |= o and reports whether b changed.
+func (b bitset) or(o bitset) bool {
+	changed := false
+	for i := range b {
+		if n := b[i] | o[i]; n != b[i] {
+			b[i] = n
+			changed = true
+		}
+	}
+	return changed
+}
+
+// and sets b &= o and reports whether b changed.
+func (b bitset) and(o bitset) bool {
+	changed := false
+	for i := range b {
+		if n := b[i] & o[i]; n != b[i] {
+			b[i] = n
+			changed = true
+		}
+	}
+	return changed
+}
+
+func (b bitset) equal(o bitset) bool {
+	for i := range b {
+		if b[i] != o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// ---- dominance ------------------------------------------------------
+
+// Dominators computes the dominator sets of c: bit d of dom[b] is set
+// iff every path from Entry to block b passes through block d. The
+// classic iterative formulation over reverse postorder; unreachable
+// blocks keep the full set (vacuously dominated by everything).
+func (c *CFG) Dominators() []bitset {
+	n := len(c.Blocks)
+	dom := make([]bitset, n)
+	for i := range dom {
+		dom[i] = newBitset(n)
+		dom[i].fill()
+		// Mask the tail word so equality checks stay exact.
+		trimBitset(dom[i], n)
+	}
+	entry := c.Entry.Index
+	dom[entry] = newBitset(n)
+	dom[entry].set(entry)
+
+	order := c.reversePostorder()
+	for changed := true; changed; {
+		changed = false
+		for _, b := range order {
+			if b.Index == entry {
+				continue
+			}
+			in := newBitset(n)
+			in.fill()
+			trimBitset(in, n)
+			seen := false
+			for _, p := range b.Preds {
+				in.and(dom[p.Index])
+				seen = true
+			}
+			if !seen {
+				continue // unreachable: keep the full set
+			}
+			in.set(b.Index)
+			if !in.equal(dom[b.Index]) {
+				dom[b.Index] = in
+				changed = true
+			}
+		}
+	}
+	return dom
+}
+
+// Dominates reports whether a dominates b under dom (as returned by
+// Dominators).
+func Dominates(dom []bitset, a, b *Block) bool {
+	return dom[b.Index].has(a.Index)
+}
+
+func trimBitset(b bitset, n int) {
+	if rem := n & 63; rem != 0 && len(b) > 0 {
+		b[len(b)-1] &= (1 << rem) - 1
+	}
+}
+
+// reversePostorder returns the blocks reachable from Entry in reverse
+// postorder of a depth-first walk.
+func (c *CFG) reversePostorder() []*Block {
+	seen := make([]bool, len(c.Blocks))
+	var post []*Block
+	var walk func(*Block)
+	walk = func(b *Block) {
+		seen[b.Index] = true
+		for _, e := range b.Succs {
+			if !seen[e.To.Index] {
+				walk(e.To)
+			}
+		}
+		post = append(post, b)
+	}
+	walk(c.Entry)
+	for i, j := 0, len(post)-1; i < j; i, j = i+1, j-1 {
+		post[i], post[j] = post[j], post[i]
+	}
+	return post
+}
+
+// ---- reaching definitions ------------------------------------------
+
+// A DefSite is one definition of a variable: an assignment, a short
+// variable declaration, a range binding — or, when Node is nil, the
+// function entry (parameters, receivers, named results). Synthetic
+// marks caller-injected definitions (poollife models pool releases as
+// synthetic defs of the released variable, killed by real
+// reassignment exactly like ordinary reaching definitions).
+type DefSite struct {
+	Obj       types.Object
+	Node      ast.Node
+	Pos       token.Pos
+	Synthetic bool
+}
+
+// ReachSets holds the solved reaching-definitions problem for one CFG:
+// Defs indexed by bit position and the definitions live on entry to
+// each block.
+type ReachSets struct {
+	CFG  *CFG
+	Defs []DefSite
+	In   []bitset
+
+	info    *types.Info
+	defsOf  map[types.Object][]int // object -> def indices
+	nodeGen map[ast.Node][]int     // node -> def indices generated there
+}
+
+// BuildReachingDefs solves reaching definitions for c. params seeds
+// entry definitions (parameters, receiver, named results). synthetic,
+// when non-nil, is consulted per top-level block node and may inject
+// extra definitions of the returned objects at that node (applied
+// after the node's ordinary defs).
+func BuildReachingDefs(c *CFG, info *types.Info, params []types.Object, synthetic func(ast.Node) []types.Object) *ReachSets {
+	r := &ReachSets{
+		CFG:     c,
+		info:    info,
+		defsOf:  map[types.Object][]int{},
+		nodeGen: map[ast.Node][]int{},
+	}
+	addDef := func(d DefSite) int {
+		idx := len(r.Defs)
+		r.Defs = append(r.Defs, d)
+		r.defsOf[d.Obj] = append(r.defsOf[d.Obj], idx)
+		return idx
+	}
+	for _, p := range params {
+		addDef(DefSite{Obj: p, Pos: p.Pos()})
+	}
+	for _, b := range c.Blocks {
+		for _, n := range b.Nodes {
+			for _, obj := range nodeDefs(info, n) {
+				idx := addDef(DefSite{Obj: obj, Node: n, Pos: n.Pos()})
+				r.nodeGen[n] = append(r.nodeGen[n], idx)
+			}
+			if synthetic != nil {
+				for _, obj := range synthetic(n) {
+					idx := addDef(DefSite{Obj: obj, Node: n, Pos: n.Pos(), Synthetic: true})
+					r.nodeGen[n] = append(r.nodeGen[n], idx)
+				}
+			}
+		}
+	}
+
+	nd := len(r.Defs)
+	r.In = make([]bitset, len(c.Blocks))
+	out := make([]bitset, len(c.Blocks))
+	for i := range r.In {
+		r.In[i] = newBitset(nd)
+		out[i] = newBitset(nd)
+	}
+	entryIn := newBitset(nd)
+	for i := range params {
+		entryIn.set(i)
+	}
+	r.In[c.Entry.Index] = entryIn
+
+	order := c.reversePostorder()
+	for changed := true; changed; {
+		changed = false
+		for _, b := range order {
+			in := r.In[b.Index]
+			if b != c.Entry {
+				for _, p := range b.Preds {
+					in.or(out[p.Index])
+				}
+			}
+			o := in.clone()
+			for _, n := range b.Nodes {
+				r.transfer(o, n)
+			}
+			if !o.equal(out[b.Index]) {
+				out[b.Index] = o
+				changed = true
+			}
+		}
+	}
+	return r
+}
+
+// transfer applies node n's kills and gens to set in place.
+func (r *ReachSets) transfer(set bitset, n ast.Node) {
+	gen := r.nodeGen[n]
+	if len(gen) == 0 {
+		return
+	}
+	for _, idx := range gen {
+		// A new definition of obj kills every other reaching def of it
+		// (including synthetic ones) ...
+		for _, other := range r.defsOf[r.Defs[idx].Obj] {
+			set.clear(other)
+		}
+	}
+	for _, idx := range gen {
+		// ... and then reaches. Synthetic defs do not kill same-node
+		// ordinary defs because both are applied here, gens last.
+		set.set(idx)
+	}
+}
+
+// WalkBlock visits b's nodes in execution order, calling visit with the
+// definitions reaching each node (before the node's own defs apply).
+// The set passed to visit is reused between calls; clone it to keep it.
+func (r *ReachSets) WalkBlock(b *Block, visit func(n ast.Node, reaching bitset)) {
+	cur := r.In[b.Index].clone()
+	for _, n := range b.Nodes {
+		visit(n, cur)
+		r.transfer(cur, n)
+	}
+}
+
+// DefsOf returns the indices of obj's definition sites.
+func (r *ReachSets) DefsOf(obj types.Object) []int { return r.defsOf[obj] }
+
+// funcEntryObjects returns the objects defined at fn's entry: the
+// receiver, parameters, and named results. These seed reaching
+// definitions so uses of unassigned parameters still resolve to a def.
+func funcEntryObjects(info *types.Info, fn *ast.FuncDecl) []types.Object {
+	var objs []types.Object
+	addFields := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, f := range fl.List {
+			for _, id := range f.Names {
+				if obj := info.Defs[id]; obj != nil {
+					objs = append(objs, obj)
+				}
+			}
+		}
+	}
+	addFields(fn.Recv)
+	addFields(fn.Type.Params)
+	addFields(fn.Type.Results)
+	return objs
+}
+
+// funcLitEntryObjects is funcEntryObjects for function literals.
+func funcLitEntryObjects(info *types.Info, fn *ast.FuncLit) []types.Object {
+	var objs []types.Object
+	addFields := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, f := range fl.List {
+			for _, id := range f.Names {
+				if obj := info.Defs[id]; obj != nil {
+					objs = append(objs, obj)
+				}
+			}
+		}
+	}
+	addFields(fn.Type.Params)
+	addFields(fn.Type.Results)
+	return objs
+}
+
+// nodeDefs returns the objects a top-level block node defines:
+// assignment LHS identifiers, var/const declarations, range key/value
+// bindings, type-switch implicits, and IncDec targets. Definitions
+// inside nested function literals belong to their own function and are
+// excluded.
+func nodeDefs(info *types.Info, n ast.Node) []types.Object {
+	var objs []types.Object
+	add := func(id *ast.Ident) {
+		if id == nil || id.Name == "_" {
+			return
+		}
+		if obj := info.Defs[id]; obj != nil {
+			objs = append(objs, obj)
+			return
+		}
+		if obj := info.Uses[id]; obj != nil {
+			if _, isVar := obj.(*types.Var); isVar {
+				objs = append(objs, obj)
+			}
+		}
+	}
+	switch n := n.(type) {
+	case *ast.AssignStmt:
+		for _, lhs := range n.Lhs {
+			if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+				add(id)
+			}
+		}
+	case *ast.IncDecStmt:
+		if id, ok := ast.Unparen(n.X).(*ast.Ident); ok {
+			add(id)
+		}
+	case *ast.DeclStmt:
+		if gd, ok := n.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, id := range vs.Names {
+						add(id)
+					}
+				}
+			}
+		}
+	case *ast.RangeStmt:
+		for _, e := range []ast.Expr{n.Key, n.Value} {
+			if id, ok := e.(*ast.Ident); ok {
+				add(id)
+			}
+		}
+	}
+	return objs
+}

@@ -1,0 +1,354 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Genguard enforces the generation-counter discipline on engine
+// callbacks: a timer/hedge callback holds a pointer to a pooled record
+// that may have been recycled — and handed to an unrelated request —
+// between arming and firing. Such records carry a gen counter bumped at
+// recycle time; the callback must compare it against the generation it
+// saved at arm time before touching anything else (hedgeFire in
+// internal/workload/fanout.go is the reference shape). Genguard is the
+// dataflow sibling of obsguard's Enabled() dominance rule.
+var Genguard = &Analyzer{
+	Name:     "genguard",
+	Contract: "engine callbacks validate a pooled record's generation counter before dereferencing it",
+	Doc: `genguard anchors the receivers of RunAt methods (sim.Runner engine
+callbacks) and every parameter they flow into within the package, then flags
+loads of generational records off those anchors — a field read producing a
+pointer to a same-package struct that has a gen field — whose dereferences
+are not dominated by a generation comparison (rec.gen == saved on the true
+edge, or rec.gen != saved on the false edge). A callback that skips the
+check acts on a record the pool may already have handed to someone else.
+Suppress callbacks whose liveness is guaranteed structurally with
+//lint:genguard <reason>.`,
+	Run: runGenguard,
+}
+
+func runGenguard(pass *Pass) {
+	if !inDeterministicScope(pass.Path()) {
+		return
+	}
+	info := pass.TypesInfo()
+
+	// Index the package's function declarations and seed the anchor
+	// sets: the receiver of every RunAt method is an engine-callback
+	// value whose record fields may be stale.
+	declOf := map[types.Object]*ast.FuncDecl{}
+	var decls []*ast.FuncDecl
+	for _, f := range pass.Files() {
+		if isTestFile(pass.Fset(), f.Pos()) {
+			continue
+		}
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				decls = append(decls, fd)
+				if obj := info.Defs[fd.Name]; obj != nil {
+					declOf[obj] = fd
+				}
+			}
+		}
+	}
+	anchored := map[*ast.FuncDecl]map[types.Object]bool{}
+	anchor := func(fd *ast.FuncDecl, obj types.Object) bool {
+		if obj == nil || anchored[fd][obj] {
+			return false
+		}
+		if anchored[fd] == nil {
+			anchored[fd] = map[types.Object]bool{}
+		}
+		anchored[fd][obj] = true
+		return true
+	}
+	for _, fd := range decls {
+		if fd.Name.Name == "RunAt" && fd.Recv != nil && len(fd.Recv.List) == 1 && len(fd.Recv.List[0].Names) == 1 {
+			anchor(fd, info.Defs[fd.Recv.List[0].Names[0]])
+		}
+	}
+
+	// Propagate anchors through same-package calls: an anchored value
+	// passed as an argument (or used as the receiver) anchors the
+	// callee's corresponding parameter, to a fixpoint.
+	for changed := true; changed; {
+		changed = false
+		for _, fd := range decls {
+			a := anchored[fd]
+			if len(a) == 0 {
+				continue
+			}
+			inspectShallowFunc(fd.Body, func(x ast.Node) bool {
+				call, ok := x.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				callee := declOf[methodCallee(info, call)]
+				if callee == nil {
+					return true
+				}
+				recvObj, params := declEntryParams(info, callee)
+				for i, arg := range call.Args {
+					if obj := identObj(info, arg); obj != nil && a[obj] && i < len(params) {
+						if anchor(callee, params[i]) {
+							changed = true
+						}
+					}
+				}
+				if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && recvObj != nil {
+					if obj := identObj(info, sel.X); obj != nil && a[obj] {
+						if anchor(callee, recvObj) {
+							changed = true
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+
+	for _, fd := range decls {
+		if len(anchored[fd]) > 0 {
+			genguardFunc(pass, fd, anchored[fd])
+		}
+	}
+}
+
+// genguardFunc checks one function with anchored callback values: every
+// dereference of a generational record loaded off an anchor must be
+// dominated by a gen comparison.
+func genguardFunc(pass *Pass, fd *ast.FuncDecl, anchors map[types.Object]bool) {
+	info := pass.TypesInfo()
+	pkg := pass.Pkg.Types
+	cfg := BuildCFG(fd.Body)
+
+	// Suspects: `rec := anchor.field` where the field is a pointer to a
+	// same-package struct carrying a gen field.
+	suspectBit := map[types.Object]int{}
+	var suspects []types.Object
+	isRecordLoad := func(e ast.Expr) bool {
+		sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+		if !ok {
+			return false
+		}
+		obj := identObj(info, sel.X)
+		if obj == nil || !anchors[obj] {
+			return false
+		}
+		return genRecordType(pkg, info.TypeOf(sel))
+	}
+	for _, b := range cfg.Blocks {
+		for _, n := range b.Nodes {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || len(as.Lhs) != len(as.Rhs) {
+				continue
+			}
+			for i := range as.Lhs {
+				if !isRecordLoad(as.Rhs[i]) {
+					continue
+				}
+				obj := identObj(info, as.Lhs[i])
+				if obj == nil {
+					continue
+				}
+				if _, seen := suspectBit[obj]; !seen {
+					suspectBit[obj] = len(suspects)
+					suspects = append(suspects, obj)
+				}
+			}
+		}
+	}
+
+	// condValidates reports which suspect a block's branch condition
+	// validates and on which edge: `s.gen == x` validates s on the true
+	// edge, `s.gen != x` on the false edge.
+	condValidates := func(cond ast.Expr) (bit int, onTrue, ok bool) {
+		be, isBin := ast.Unparen(cond).(*ast.BinaryExpr)
+		if !isBin || (be.Op != token.EQL && be.Op != token.NEQ) {
+			return 0, false, false
+		}
+		for _, side := range []ast.Expr{be.X, be.Y} {
+			sel, isSel := ast.Unparen(side).(*ast.SelectorExpr)
+			if !isSel || sel.Sel.Name != "gen" {
+				continue
+			}
+			obj := identObj(info, sel.X)
+			if b, isSuspect := suspectBit[obj]; isSuspect {
+				return b, be.Op == token.EQL, true
+			}
+		}
+		return 0, false, false
+	}
+
+	// Forward must-analysis: a suspect bit is set when every path to
+	// this point passed its gen comparison since the last (re)load.
+	ns := len(suspects)
+	nb := len(cfg.Blocks)
+	in := make([]bitset, nb)
+	outSeq := make([]bitset, nb)
+	outTrue := make([]bitset, nb)
+	outFalse := make([]bitset, nb)
+	for i := range in {
+		in[i] = newBitset(ns)
+		if i != cfg.Entry.Index {
+			in[i].fill()
+			trimBitset(in[i], ns)
+		}
+		outSeq[i] = in[i].clone()
+		outTrue[i] = in[i].clone()
+		outFalse[i] = in[i].clone()
+	}
+	kills := func(set bitset, n ast.Node) {
+		for _, obj := range nodeDefs(info, n) {
+			if bit, ok := suspectBit[obj]; ok {
+				set.clear(bit)
+			}
+		}
+	}
+	edgeOut := func(p *Block, kind EdgeKind) bitset {
+		switch kind {
+		case EdgeTrue:
+			return outTrue[p.Index]
+		case EdgeFalse:
+			return outFalse[p.Index]
+		}
+		return outSeq[p.Index]
+	}
+	order := cfg.reversePostorder()
+	for changed := true; changed; {
+		changed = false
+		for _, b := range order {
+			if b != cfg.Entry {
+				next := newBitset(ns)
+				next.fill()
+				trimBitset(next, ns)
+				for _, p := range b.Preds {
+					for _, e := range p.Succs {
+						if e.To == b {
+							next.and(edgeOut(p, e.Kind))
+						}
+					}
+				}
+				in[b.Index] = next
+			}
+			seq := in[b.Index].clone()
+			for _, n := range b.Nodes {
+				kills(seq, n)
+			}
+			t, f := seq.clone(), seq.clone()
+			if b.Cond != nil {
+				if bit, onTrue, ok := condValidates(b.Cond); ok {
+					if onTrue {
+						t.set(bit)
+					} else {
+						f.set(bit)
+					}
+				}
+			}
+			if !seq.equal(outSeq[b.Index]) || !t.equal(outTrue[b.Index]) || !f.equal(outFalse[b.Index]) {
+				outSeq[b.Index], outTrue[b.Index], outFalse[b.Index] = seq, t, f
+				changed = true
+			}
+		}
+	}
+
+	// Report: dereferences of suspects outside their validated region,
+	// plus direct chained dereferences (anchor.rec.field) that never
+	// bind the record and so can never have validated it.
+	reported := map[token.Pos]bool{}
+	deref := func(x ast.Node, validated bitset) {
+		sel, ok := x.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name == "gen" {
+			return
+		}
+		if obj := identObj(info, sel.X); obj != nil {
+			if bit, isSuspect := suspectBit[obj]; isSuspect && !validated.has(bit) && !reported[sel.Pos()] {
+				reported[sel.Pos()] = true
+				pass.Reportf(sel.Pos(),
+					"pooled record %s dereferenced in engine callback before its generation check: guard with `if %s.gen == <saved gen>` so a recycled record is not touched",
+					obj.Name(), obj.Name())
+			}
+			return
+		}
+		if isRecordLoad(sel.X) && !reported[sel.Pos()] {
+			reported[sel.Pos()] = true
+			pass.Reportf(sel.Pos(),
+				"generational record dereferenced straight off the callback without a gen check: bind it to a local and compare its gen first")
+		}
+	}
+	if ns == 0 {
+		// No bound suspects; still scan for chained dereferences.
+		empty := newBitset(0)
+		for _, b := range cfg.Blocks {
+			for _, n := range b.Nodes {
+				inspectShallow(n, func(x ast.Node) bool { deref(x, empty); return true })
+			}
+		}
+		return
+	}
+	for _, b := range cfg.Blocks {
+		cur := in[b.Index].clone()
+		for _, n := range b.Nodes {
+			inspectShallow(n, func(x ast.Node) bool { deref(x, cur); return true })
+			kills(cur, n)
+		}
+	}
+}
+
+// genRecordType reports whether t is a pointer to a named struct in
+// pkg with a field named gen — the pooled-record shape whose staleness
+// the counter detects.
+func genRecordType(pkg *types.Package, t types.Type) bool {
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok || named.Obj().Pkg() != pkg {
+		return false
+	}
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		if st.Field(i).Name() == "gen" {
+			return true
+		}
+	}
+	return false
+}
+
+// declEntryParams returns a declaration's receiver object (nil if none)
+// and its parameter objects in order.
+func declEntryParams(info *types.Info, fd *ast.FuncDecl) (types.Object, []types.Object) {
+	var recv types.Object
+	if fd.Recv != nil && len(fd.Recv.List) == 1 && len(fd.Recv.List[0].Names) == 1 {
+		recv = info.Defs[fd.Recv.List[0].Names[0]]
+	}
+	var params []types.Object
+	if fd.Type.Params != nil {
+		for _, f := range fd.Type.Params.List {
+			for _, id := range f.Names {
+				params = append(params, info.Defs[id])
+			}
+		}
+	}
+	return recv, params
+}
+
+// inspectShallowFunc walks a function body skipping nested function
+// literals.
+func inspectShallowFunc(body *ast.BlockStmt, visit func(ast.Node) bool) {
+	ast.Inspect(body, func(x ast.Node) bool {
+		if _, ok := x.(*ast.FuncLit); ok {
+			return false
+		}
+		if x == nil {
+			return true
+		}
+		return visit(x)
+	})
+}

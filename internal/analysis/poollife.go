@@ -1,0 +1,246 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Poollife enforces the pooled-record lifecycle contract on slab and
+// free-list records (evRec, fanReq, request, timing-wheel nodes): a
+// record obtained from a //pool:get function must not be dereferenced
+// on any path after its //pool:put release, and must not be stored to
+// a location that outlives the release (a caller-owned struct, a
+// global, or a closure). A retained pooled record is the silent replay
+// corrupter: the pool hands the same memory to an unrelated event and
+// two logical records alias one struct.
+var Poollife = &Analyzer{
+	Name:     "poollife",
+	Contract: "pooled records are not used after release and do not escape their pool's owner",
+	Doc: `poollife runs reaching-definitions dataflow over each function that
+touches an annotated record pool (//pool:get / //pool:put directives on the
+acquire/release functions). It reports (1) any read or write through a pooled
+record along a path after the record was released — use-after-recycle — and
+(2) stores of a live pooled record into locations that outlive the release:
+fields of caller-owned values, globals, or closures. Stores rooted at the
+pool's owner (the receiver of the //pool:get call) are allowed; the owner's
+free-list is where records are supposed to live. Copy the fields you need
+out of the record before releasing it, the way evRec.RunAt does. Suppress
+intentional handoffs with //lint:poollife <reason>.`,
+	Run: runPoollife,
+}
+
+func runPoollife(pass *Pass) {
+	marks := collectPoolMarks(pass)
+	if len(marks.get) == 0 && len(marks.put) == 0 {
+		return
+	}
+	info := pass.TypesInfo()
+	for _, f := range pass.Files() {
+		if isTestFile(pass.Fset(), f.Pos()) {
+			continue
+		}
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if marks.poolInternal(info.Defs[fd.Name]) {
+				continue // the pool implementation manages its own links
+			}
+			poollifeFunc(pass, marks, fd)
+		}
+	}
+}
+
+func poollifeFunc(pass *Pass, marks *poolMarks, fd *ast.FuncDecl) {
+	info := pass.TypesInfo()
+	cfg := BuildCFG(fd.Body)
+
+	// Get sites: `r := m.rec(...)` tracks r with owner m. Release
+	// sites: `m.recycle(r)` is a synthetic definition of r ("released")
+	// killed by reassignment like any other def.
+	getOwner := map[types.Object]types.Object{}
+	releaseAt := map[ast.Node][]types.Object{}
+	for _, b := range cfg.Blocks {
+		for _, n := range b.Nodes {
+			if as, ok := n.(*ast.AssignStmt); ok && len(as.Rhs) == 1 {
+				if call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr); ok {
+					callee := methodCallee(info, call)
+					if callee != nil && marks.get[callee] {
+						if obj := identObj(info, as.Lhs[0]); obj != nil {
+							getOwner[obj] = callReceiverRoot(info, call)
+						}
+					}
+				}
+			}
+			inspectShallow(n, func(x ast.Node) bool {
+				call, ok := x.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				callee := methodCallee(info, call)
+				if callee == nil || !marks.put[callee] || len(call.Args) == 0 {
+					return true
+				}
+				if obj := identObj(info, call.Args[0]); obj != nil {
+					releaseAt[n] = append(releaseAt[n], obj)
+				}
+				return true
+			})
+		}
+	}
+
+	if len(releaseAt) > 0 {
+		poollifeUseAfterRelease(pass, fd, cfg, releaseAt)
+	}
+	if len(getOwner) > 0 {
+		poollifeEscapes(pass, fd, cfg, getOwner)
+	}
+}
+
+// poollifeUseAfterRelease reports reads/writes through a released
+// record: any use of the variable reached by a synthetic release
+// definition, except a full reassignment (which kills the release).
+func poollifeUseAfterRelease(pass *Pass, fd *ast.FuncDecl, cfg *CFG, releaseAt map[ast.Node][]types.Object) {
+	info := pass.TypesInfo()
+	rd := BuildReachingDefs(cfg, info, funcEntryObjects(info, fd), func(n ast.Node) []types.Object {
+		return releaseAt[n]
+	})
+	reported := map[token.Pos]bool{}
+	for _, b := range cfg.Blocks {
+		rd.WalkBlock(b, func(n ast.Node, reaching bitset) {
+			released := map[types.Object]token.Pos{}
+			for i, d := range rd.Defs {
+				if d.Synthetic && reaching.has(i) {
+					released[d.Obj] = d.Pos
+				}
+			}
+			if len(released) == 0 {
+				return
+			}
+			// Idents that are the whole LHS of an assignment are kills,
+			// not dereferences.
+			reassigned := map[*ast.Ident]bool{}
+			if as, ok := n.(*ast.AssignStmt); ok {
+				for _, l := range as.Lhs {
+					if id, ok := ast.Unparen(l).(*ast.Ident); ok {
+						reassigned[id] = true
+					}
+				}
+			}
+			inspectShallow(n, func(x ast.Node) bool {
+				id, ok := x.(*ast.Ident)
+				if !ok || reassigned[id] {
+					return true
+				}
+				obj := info.Uses[id]
+				relPos, isReleased := released[obj]
+				if !isReleased || reported[id.Pos()] {
+					return true
+				}
+				reported[id.Pos()] = true
+				pass.Reportf(id.Pos(),
+					"pooled record %s used after release (released at %s): copy the fields you need before the release call",
+					id.Name, shortPos(pass.Fset(), relPos))
+				return true
+			})
+		})
+	}
+}
+
+// poollifeEscapes reports stores of a live pooled record into locations
+// that outlive its release, and closure captures.
+func poollifeEscapes(pass *Pass, fd *ast.FuncDecl, cfg *CFG, getOwner map[types.Object]types.Object) {
+	info := pass.TypesInfo()
+	entry := map[types.Object]bool{}
+	for _, o := range funcEntryObjects(info, fd) {
+		entry[o] = true
+	}
+	isLocal := func(obj types.Object) bool {
+		v, ok := obj.(*types.Var)
+		if !ok || v.IsField() || entry[obj] {
+			return false
+		}
+		// A package-level variable's parent is the package scope.
+		return obj.Parent() != nil && obj.Parent().Parent() != types.Universe
+	}
+	mentions := func(e ast.Expr, obj types.Object) bool {
+		found := false
+		inspectShallow(e, func(x ast.Node) bool {
+			if id, ok := x.(*ast.Ident); ok && info.Uses[id] == obj {
+				found = true
+			}
+			return !found
+		})
+		return found
+	}
+	for _, b := range cfg.Blocks {
+		for _, n := range b.Nodes {
+			if as, ok := n.(*ast.AssignStmt); ok {
+				for obj, owner := range getOwner {
+					stored := false
+					for _, r := range as.Rhs {
+						if mentions(r, obj) {
+							stored = true
+						}
+					}
+					if !stored {
+						continue
+					}
+					for _, l := range as.Lhs {
+						if _, bare := ast.Unparen(l).(*ast.Ident); bare {
+							// Rebinding a local is fine; assigning the record
+							// to a package-level variable is the escape.
+							if lobj := identObj(info, l); lobj != nil && lobj.Parent() != nil && lobj.Parent().Parent() == types.Universe {
+								pass.Reportf(l.Pos(),
+									"pooled record %s stored to package-level variable %s, which outlives the record's release",
+									obj.Name(), lobj.Name())
+							}
+							continue
+						}
+						root := rootIdentObj(info, l)
+						if root == nil || root == obj || (owner != nil && root == owner) || isLocal(root) {
+							continue
+						}
+						pass.Reportf(l.Pos(),
+							"pooled record %s stored to %s, which outlives the record's release: copy the needed fields instead of retaining the record",
+							obj.Name(), types.ExprString(l))
+					}
+				}
+			}
+			// Closure captures: the literal may run after the release.
+			ast.Inspect(n, func(x ast.Node) bool {
+				fl, ok := x.(*ast.FuncLit)
+				if !ok {
+					return true
+				}
+				for obj := range getOwner {
+					captured := false
+					ast.Inspect(fl.Body, func(y ast.Node) bool {
+						if id, ok := y.(*ast.Ident); ok && info.Uses[id] == obj {
+							captured = true
+						}
+						return !captured
+					})
+					if captured {
+						pass.Reportf(fl.Pos(),
+							"pooled record %s captured by a closure that may outlive its release", obj.Name())
+					}
+				}
+				return false
+			})
+		}
+	}
+}
+
+// callReceiverRoot returns the object at the root of the call's
+// receiver chain (m for m.rec(...), ol for ol.pools.take(...)), or nil
+// for receiver-less calls.
+func callReceiverRoot(info *types.Info, call *ast.CallExpr) types.Object {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	return rootIdentObj(info, sel.X)
+}

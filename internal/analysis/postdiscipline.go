@@ -21,7 +21,9 @@ the one sanctioned cross-goroutine entry point; (2) callbacks passed to
 sim.Engine.Post/PostAfter/At/After/Reschedule that capture the key or value
 variable of an enclosing range over a map — the callback's payload (and with
 equal deadlines, its relative order) would depend on randomized map order;
-(3) callbacks that perform channel operations or take sync locks — an event
+(3) Runner values passed to PostRun/PostRunAfter/Arm/ArmAfter that are built
+from a map-range key or value — the pooled-closure spelling of the same bug;
+(4) callbacks that perform channel operations or take sync locks — an event
 callback that blocks deadlocks the whole virtual clock. Suppress with
 //lint:postdiscipline <reason> (alias //lint:goroutine for go statements).`,
 	Run: runPostdiscipline,
@@ -42,24 +44,38 @@ func runPostdiscipline(pass *Pass) {
 			if fn == nil || !isEnginePostFamily(fn) {
 				return true
 			}
-			for _, arg := range n.Args {
-				lit, ok := ast.Unparen(arg).(*ast.FuncLit)
-				if !ok {
+			for i, arg := range n.Args {
+				if lit, ok := ast.Unparen(arg).(*ast.FuncLit); ok {
+					checkCallback(pass, fn.Name(), lit, stack)
 					continue
 				}
-				checkCallback(pass, fn.Name(), lit, stack)
+				if isRunnerParam(fn, i) {
+					checkRunnerArg(pass, fn.Name(), arg, stack)
+				}
 			}
 		}
 		return true
 	})
 }
 
-// checkCallback inspects one closure scheduled on the engine.
-func checkCallback(pass *Pass, method string, lit *ast.FuncLit, stack []ast.Node) {
-	info := pass.TypesInfo()
+// isRunnerParam reports whether the i-th parameter of fn is the
+// sim.Runner payload (PostRun/PostRunAfter/Arm/ArmAfter take one).
+func isRunnerParam(fn *types.Func, i int) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || i >= sig.Params().Len() {
+		return false
+	}
+	named, ok := sig.Params().At(i).Type().(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Pkg().Path() == "repro/internal/sim" && named.Obj().Name() == "Runner"
+}
 
-	// Collect key/value objects of enclosing ranges over maps.
-	mapLoopVars := map[types.Object]*ast.RangeStmt{}
+// mapRangeVars collects the key/value objects of enclosing ranges over
+// maps from an inspection stack.
+func mapRangeVars(info *types.Info, stack []ast.Node) map[types.Object]*ast.RangeStmt {
+	vars := map[types.Object]*ast.RangeStmt{}
 	for _, anc := range stack {
 		rng, ok := anc.(*ast.RangeStmt)
 		if !ok {
@@ -75,11 +91,46 @@ func checkCallback(pass *Pass, method string, lit *ast.FuncLit, stack []ast.Node
 		for _, e := range []ast.Expr{rng.Key, rng.Value} {
 			if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
 				if obj := info.Defs[id]; obj != nil {
-					mapLoopVars[obj] = rng
+					vars[obj] = rng
 				}
 			}
 		}
 	}
+	return vars
+}
+
+// checkRunnerArg inspects the Runner payload of a PostRun/Arm-family
+// call: a Runner built from a map-range key or value schedules work
+// whose content depends on randomized iteration order, exactly like a
+// closure capturing the loop variable.
+func checkRunnerArg(pass *Pass, method string, arg ast.Expr, stack []ast.Node) {
+	info := pass.TypesInfo()
+	loopVars := mapRangeVars(info, stack)
+	if len(loopVars) == 0 {
+		return
+	}
+	ast.Inspect(arg, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := info.Uses[id]
+		if obj == nil {
+			return true
+		}
+		if _, fromMapRange := loopVars[obj]; fromMapRange {
+			pass.Reportf(id.Pos(),
+				"Runner passed to Engine.%s is built from %q, the key/value of an enclosing range over a map: the scheduled work depends on randomized iteration order", method, id.Name)
+			delete(loopVars, obj) // one report per variable
+		}
+		return true
+	})
+}
+
+// checkCallback inspects one closure scheduled on the engine.
+func checkCallback(pass *Pass, method string, lit *ast.FuncLit, stack []ast.Node) {
+	info := pass.TypesInfo()
+	mapLoopVars := mapRangeVars(info, stack)
 
 	ast.Inspect(lit.Body, func(n ast.Node) bool {
 		switch n := n.(type) {

@@ -1,0 +1,147 @@
+package analysis
+
+import (
+	"encoding/json"
+	"io"
+	"path/filepath"
+	"strings"
+)
+
+// SARIF 2.1.0 output: the minimal subset of the Static Analysis
+// Results Interchange Format that CI annotation services (GitHub code
+// scanning, review bots) consume. One run, one driver (nestlint), one
+// rule per analyzer, one result per diagnostic. Output is fully
+// deterministic: rules appear in suite order and results in the
+// position order RunAnalyzers already guarantees.
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name    string      `json:"name"`
+	Version string      `json:"version"`
+	Rules   []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+	FullDescription  sarifMessage `json:"fullDescription,omitempty"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	RuleIndex int             `json:"ruleIndex"`
+	Level     string          `json:"level"`
+	Message   sarifMessage    `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysicalLocation `json:"physicalLocation"`
+}
+
+type sarifPhysicalLocation struct {
+	ArtifactLocation sarifArtifactLocation `json:"artifactLocation"`
+	Region           sarifRegion           `json:"region"`
+}
+
+type sarifArtifactLocation struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+// WriteSARIF encodes diags as a SARIF 2.1.0 log on w. analyzers
+// supplies the rule metadata (normally Suite()); diagnostics whose
+// analyzer is not in the list — UnusedDirectives findings — get a bare
+// rule appended in first-appearance order, which is deterministic
+// because diags arrive position-sorted. File URIs are made relative to
+// base (when they are under it) and slash-separated, so logs produced
+// on different checkouts of the same tree compare equal.
+func WriteSARIF(w io.Writer, base string, analyzers []*Analyzer, diags []Diagnostic) error {
+	driver := sarifDriver{
+		Name:    "nestlint",
+		Version: Version,
+		Rules:   []sarifRule{},
+	}
+	ruleIndex := map[string]int{}
+	for _, a := range analyzers {
+		ruleIndex[a.Name] = len(driver.Rules)
+		driver.Rules = append(driver.Rules, sarifRule{
+			ID:               a.Name,
+			ShortDescription: sarifMessage{Text: a.Contract},
+			FullDescription:  sarifMessage{Text: a.Doc},
+		})
+	}
+
+	results := []sarifResult{}
+	for _, d := range diags {
+		idx, ok := ruleIndex[d.Analyzer]
+		if !ok {
+			idx = len(driver.Rules)
+			ruleIndex[d.Analyzer] = idx
+			driver.Rules = append(driver.Rules, sarifRule{
+				ID:               d.Analyzer,
+				ShortDescription: sarifMessage{Text: d.Analyzer},
+			})
+		}
+		results = append(results, sarifResult{
+			RuleID:    d.Analyzer,
+			RuleIndex: idx,
+			Level:     "error",
+			Message:   sarifMessage{Text: d.Message},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysicalLocation{
+					ArtifactLocation: sarifArtifactLocation{URI: sarifURI(base, d.Pos.Filename)},
+					Region: sarifRegion{
+						StartLine:   d.Pos.Line,
+						StartColumn: d.Pos.Column,
+					},
+				},
+			}},
+		})
+	}
+
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(sarifLog{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs: []sarifRun{{
+			Tool:    sarifTool{Driver: driver},
+			Results: results,
+		}},
+	})
+}
+
+// sarifURI rewrites an absolute file path as a base-relative,
+// slash-separated URI when the file is under base; other paths pass
+// through slash-converted.
+func sarifURI(base, file string) string {
+	if base != "" {
+		if rel, err := filepath.Rel(base, file); err == nil && !strings.HasPrefix(rel, "..") {
+			return filepath.ToSlash(rel)
+		}
+	}
+	return filepath.ToSlash(file)
+}

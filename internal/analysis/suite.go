@@ -1,6 +1,9 @@
 package analysis
 
 // Suite returns the full nestlint analyzer suite in reporting order.
+// The first five are the AST-level contract checks; poollife, genguard
+// and engineown are the dataflow analyzers built on the CFG core
+// (cfg.go / dataflow.go).
 func Suite() []*Analyzer {
 	return []*Analyzer{
 		Simtime,
@@ -8,10 +11,13 @@ func Suite() []*Analyzer {
 		Maporder,
 		Obsguard,
 		Postdiscipline,
+		Poollife,
+		Genguard,
+		Engineown,
 	}
 }
 
 // Version identifies the suite's contract set; bump when an analyzer
 // is added or a contract materially changes, and record the change in
 // CHANGES.md and docs/ANALYSIS.md.
-const Version = "1.0.0"
+const Version = "2.0.0"

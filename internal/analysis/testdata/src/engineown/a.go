@@ -1,0 +1,77 @@
+// Fixture for the engineown analyzer: fields annotated //own:engine
+// may be written only from the owning type's methods or from functions
+// reachable solely from engine context (RunAt methods and //own:entry
+// roots).
+package engineown
+
+type node struct {
+	next *node
+}
+
+type engine struct {
+	free  *node //own:engine
+	count int
+}
+
+// Owner methods manage their own state. Clean.
+func (e *engine) push(n *node) {
+	n.next = e.free
+	e.free = n
+}
+
+// ticker is an engine callback; helpers it calls inherit engine
+// context.
+type ticker struct {
+	e *engine
+}
+
+func (tk *ticker) RunAt(now int64) {
+	drain(tk.e)
+	shared(tk.e)
+}
+
+// drain is reached only from RunAt. Clean.
+func drain(e *engine) {
+	e.free = nil
+}
+
+// Flush is exported: any caller outside the package could run it on
+// any goroutine.
+func Flush(e *engine) {
+	e.free = nil // want `engine-owned field e\.free written outside engine context`
+	shared(e)
+}
+
+// shared is called from both RunAt and Flush; one non-engine caller
+// demotes it.
+func shared(e *engine) {
+	e.free = nil // want `engine-owned field e\.free written outside engine context`
+}
+
+// scrub has no in-package callers, so its context is unknown.
+func scrub(e *engine) {
+	e.free = nil // want `engine-owned field e\.free written outside engine context`
+}
+
+// setup is an engine-context root: direct writes are fine, but a
+// closure write escapes the frame.
+//
+//own:entry
+func setup(e *engine) {
+	e.free = nil
+	f := func() {
+		e.free = nil // want `engine-owned field e\.free written from a closure`
+	}
+	f()
+}
+
+// bump touches an unannotated field: not engineown's business.
+func bump(e *engine) {
+	e.count++
+}
+
+// bless documents why its write is safe despite running outside engine
+// context.
+func bless(e *engine) {
+	e.free = nil //lint:engineown fixture: called only during single-threaded construction
+}

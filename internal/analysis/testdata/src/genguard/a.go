@@ -1,0 +1,131 @@
+// Fixture for the genguard analyzer: engine callbacks must compare a
+// pooled record's generation counter before dereferencing it. The
+// guarded shapes mirror hedgeFire in internal/workload/fanout.go.
+package genguard
+
+type record struct {
+	val int
+	gen uint32
+}
+
+func sink(int) {}
+
+// badTimer fires without checking the record's generation.
+type badTimer struct {
+	rec *record
+	gen uint32
+}
+
+func (t *badTimer) RunAt(now int64) {
+	r := t.rec
+	sink(r.val) // want `pooled record r dereferenced in engine callback before its generation check`
+}
+
+// goodTimer guards with the equality idiom.
+type goodTimer struct {
+	rec *record
+	gen uint32
+}
+
+func (t *goodTimer) RunAt(now int64) {
+	r := t.rec
+	if r.gen == t.gen {
+		sink(r.val)
+	}
+}
+
+// earlyTimer guards with the early-return idiom.
+type earlyTimer struct {
+	rec *record
+	gen uint32
+}
+
+func (t *earlyTimer) RunAt(now int64) {
+	r := t.rec
+	if r.gen != t.gen {
+		return
+	}
+	sink(r.val)
+}
+
+// condTimer guards as the first conjunct of a compound condition — the
+// hedgeFire shape.
+type condTimer struct {
+	rec   *record
+	gen   uint32
+	armed bool
+}
+
+func (t *condTimer) RunAt(now int64) {
+	r := t.rec
+	if r.gen == t.gen && t.armed {
+		sink(r.val)
+	}
+}
+
+// reloadTimer validates the first load but not the second: reloading
+// the field discards the proof.
+type reloadTimer struct {
+	rec *record
+	gen uint32
+}
+
+func (t *reloadTimer) RunAt(now int64) {
+	r := t.rec
+	if r.gen != t.gen {
+		return
+	}
+	sink(r.val)
+	r = t.rec
+	sink(r.val) // want `pooled record r dereferenced in engine callback before its generation check`
+}
+
+// chainTimer dereferences straight through the field without ever
+// binding the record, so no gen check is even possible.
+type chainTimer struct {
+	rec *record
+	gen uint32
+}
+
+func (t *chainTimer) RunAt(now int64) {
+	sink(t.rec.val) // want `generational record dereferenced straight off the callback without a gen check`
+}
+
+// propTimer hands its callback value to a helper: the anchor follows
+// the call and the helper's unguarded dereference is still caught.
+type propTimer struct {
+	rec *record
+	gen uint32
+}
+
+func (t *propTimer) RunAt(now int64) {
+	t.fire(now)
+}
+
+func (t *propTimer) fire(now int64) {
+	r := t.rec
+	sink(r.val) // want `pooled record r dereferenced in engine callback before its generation check`
+}
+
+// plain is not an engine callback: nothing anchors it, so its loads are
+// not suspects.
+type plain struct {
+	rec *record
+}
+
+func (p *plain) poke() {
+	r := p.rec
+	sink(r.val)
+}
+
+// pinnedTimer documents why its record cannot be recycled underneath
+// it; the suppression carries the reason.
+type pinnedTimer struct {
+	rec *record
+	gen uint32
+}
+
+func (t *pinnedTimer) RunAt(now int64) {
+	r := t.rec
+	sink(r.val) //lint:genguard fixture: record is pinned for the timer's whole lifetime
+}

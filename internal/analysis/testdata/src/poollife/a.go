@@ -1,0 +1,156 @@
+// Fixture for the poollife analyzer: pooled-record lifecycle over an
+// annotated free-list pool. Positive cases use records after release or
+// store them where they outlive it; negatives follow the copy-before-
+// release discipline the real pools (evRec, fanReq, wheel nodes) use.
+package poollife
+
+type rec struct {
+	val  int
+	next *rec
+}
+
+type box struct {
+	held *rec
+}
+
+type pool struct {
+	free *rec
+	keep *rec
+	all  []*rec
+}
+
+var global *rec
+
+// get takes a record from the pool.
+//
+//pool:get
+func (p *pool) get() *rec {
+	r := p.free
+	if r == nil {
+		return &rec{}
+	}
+	p.free = r.next
+	r.next = nil
+	return r
+}
+
+// put releases a record to the pool.
+//
+//pool:put
+func (p *pool) put(r *rec) {
+	r.val = 0
+	r.next = p.free
+	p.free = r
+}
+
+func sink(int) {}
+
+// Read through a released record.
+func useAfterRelease(p *pool) {
+	r := p.get()
+	r.val = 1
+	p.put(r)
+	sink(r.val) // want `pooled record r used after release`
+}
+
+// Released on one path, used after the join: stale on that path.
+func useAfterConditionalRelease(p *pool, c bool) {
+	r := p.get()
+	if c {
+		p.put(r)
+	}
+	sink(r.val) // want `pooled record r used after release`
+}
+
+// Write through a released record.
+func writeAfterRelease(p *pool) {
+	r := p.get()
+	p.put(r)
+	r.val = 2 // want `pooled record r used after release`
+}
+
+// Double release: the second put dereferences a released record.
+func doubleRelease(p *pool) {
+	r := p.get()
+	p.put(r)
+	p.put(r) // want `pooled record r used after release`
+}
+
+// Release applies to parameters too, not just locals from get sites.
+func releaseParam(p *pool, r *rec) {
+	v := r.val
+	p.put(r)
+	sink(v)
+	sink(r.val) // want `pooled record r used after release`
+}
+
+// Stored into a caller-owned struct: outlives the frame and the release.
+func escapeToCaller(p *pool, b *box) {
+	r := p.get()
+	b.held = r // want `pooled record r stored to b\.held`
+	p.put(r)
+}
+
+// Stored into a package-level variable.
+func escapeToGlobal(p *pool) {
+	r := p.get()
+	global = r // want `pooled record r stored to package-level variable global`
+	p.put(r)
+}
+
+// Captured by a closure that may run after the release.
+func escapeToClosure(p *pool) func() int {
+	r := p.get()
+	f := func() int { return r.val } // want `pooled record r captured by a closure`
+	p.put(r)
+	return f
+}
+
+// Allowlisted handoff: the suppression documents why the store is safe.
+func suppressedEscape(p *pool, b *box) {
+	r := p.get()
+	b.held = r //lint:poollife fixture: the box adopts the record and releases it itself
+}
+
+// Copy the fields out, then release — the evRec.RunAt shape. Clean.
+func copyThenRelease(p *pool) {
+	r := p.get()
+	v := r.val
+	p.put(r)
+	sink(v)
+}
+
+// Reassignment kills the release: the new record is live.
+func reassignAfterRelease(p *pool) {
+	r := p.get()
+	p.put(r)
+	r = p.get()
+	sink(r.val)
+	p.put(r)
+}
+
+// Free-then-advance chain walk — the wheel redistribute shape. Clean.
+func releaseChain(p *pool, head *rec) {
+	n := head
+	for n != nil {
+		next := n.next
+		p.put(n)
+		n = next
+	}
+}
+
+// Stores rooted at the pool's owner are where records belong. Clean.
+func ownerStores(p *pool) {
+	r := p.get()
+	p.keep = r
+	p.all = append(p.all, r)
+}
+
+// Stores into function-local structures stay inside the frame. Clean.
+func localStore(p *pool) {
+	r := p.get()
+	var b box
+	b.held = r
+	sink(b.held.val)
+	p.put(r)
+}

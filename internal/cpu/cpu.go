@@ -292,7 +292,7 @@ type Machine struct {
 	tickRun tickRunner
 
 	// recFree heads the pooled event-record free-list (events.go).
-	recFree *evRec
+	recFree *evRec //own:engine
 
 	// sockLoads / sockRunning are per-socket statistics cached at the
 	// last tick, the stale domain statistics CFS placement consults.

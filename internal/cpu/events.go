@@ -42,6 +42,8 @@ type evRec struct {
 }
 
 // rec takes a record from the pool.
+//
+//pool:get
 func (m *Machine) rec(kind evKind) *evRec {
 	r := m.recFree
 	if r == nil {
@@ -55,6 +57,8 @@ func (m *Machine) rec(kind evKind) *evRec {
 }
 
 // recycle clears a fired record and returns it to the pool.
+//
+//pool:put
 func (m *Machine) recycle(r *evRec) {
 	r.kind = 0
 	r.task = nil

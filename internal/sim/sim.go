@@ -107,7 +107,7 @@ type Engine struct {
 
 	// freeN is the node free-list; nodes are slab-allocated and recycled
 	// so steady-state scheduling performs no allocation.
-	freeN *node
+	freeN *node //own:engine
 
 	// steps counts processed events, for run-away detection in tests.
 	steps uint64
@@ -166,7 +166,7 @@ func (e *Engine) schedule(t Time, fn func(), r Runner, ev *Event) {
 	e.count++
 	if ev != nil {
 		ev.when = t
-		ev.n = n
+		ev.n = n //lint:poollife the Event handle must alias its node so Cancel/Arm can find it; every free site clears ev.n first
 	}
 	if t < e.horizon {
 		e.heapPush(&e.near, n, locNear)

@@ -74,6 +74,8 @@ const slabSize = 128
 
 // newNode takes a node from the free-list, refilling it with a fresh
 // slab when empty.
+//
+//pool:get
 func (e *Engine) newNode() *node {
 	n := e.freeN
 	if n == nil {
@@ -90,6 +92,8 @@ func (e *Engine) newNode() *node {
 }
 
 // freeNode clears n and returns it to the free-list.
+//
+//pool:put
 func (e *Engine) freeNode(n *node) {
 	n.fn = nil
 	n.r = nil

@@ -286,6 +286,7 @@ type hedgeTimer struct {
 // RunAt implements sim.Runner: the hedge delay elapsed.
 func (ht *hedgeTimer) RunAt(now sim.Time) { ht.ol.hedgeFire(ht, now) }
 
+//pool:get
 func (ol *openLoop) newFanReq(rq *request) *fanReq {
 	fr := ol.fanFree
 	if fr == nil {
@@ -328,6 +329,8 @@ func (fr *fanReq) resetStage() {
 // maybeFreeFanReq recycles fr once the parent has settled and every
 // issued attempt is terminal; gen++ invalidates any hedge timers still
 // in flight against the old incarnation.
+//
+//pool:put
 func (ol *openLoop) maybeFreeFanReq(fr *fanReq) {
 	if fr.pooled || fr.rq != nil || fr.open != 0 {
 		return
@@ -338,6 +341,7 @@ func (ol *openLoop) maybeFreeFanReq(fr *fanReq) {
 	ol.fanFree = fr
 }
 
+//pool:get
 func (ol *openLoop) newHedgeTimer(fr *fanReq, slot int) *hedgeTimer {
 	ht := ol.htFree
 	if ht == nil {
@@ -350,6 +354,7 @@ func (ol *openLoop) newHedgeTimer(fr *fanReq, slot int) *hedgeTimer {
 	return ht
 }
 
+//pool:put
 func (ol *openLoop) freeHedgeTimer(ht *hedgeTimer) {
 	ht.fr = nil
 	ht.next = ol.htFree

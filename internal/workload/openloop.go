@@ -48,6 +48,8 @@ type request struct {
 func (rq *request) RunAt(now sim.Time) { rq.ol.deliver(rq) }
 
 // newRequest takes a request from the pool.
+//
+//pool:get
 func (ol *openLoop) newRequest(class, attempt int) *request {
 	rq := ol.reqFree
 	if rq == nil {
@@ -63,6 +65,8 @@ func (ol *openLoop) newRequest(class, attempt int) *request {
 }
 
 // freeRequest returns a settled request to the pool.
+//
+//pool:put
 func (ol *openLoop) freeRequest(rq *request) {
 	rq.nextFree = ol.reqFree
 	ol.reqFree = rq
@@ -164,7 +168,7 @@ type openLoop struct {
 
 	pump         pumpRunner
 	pendingClass string   // class name for the outstanding pump event
-	reqFree      *request // request free-list
+	reqFree      *request //own:engine request free-list
 
 	delivered int  // base arrivals delivered so far
 	baseDone  bool // the pump has finished
@@ -182,8 +186,8 @@ type openLoop struct {
 	// latency histogram feeding percentile hedges, and subtask-attempt
 	// conservation accounting (issued == terminal + outstanding,
 	// asserted by the fanout_conservation invariant probe).
-	fanFree                          *fanReq
-	htFree                           *hedgeTimer
+	fanFree                          *fanReq     //own:engine
+	htFree                           *hedgeTimer //own:engine
 	fanLat                           metrics.LatHist
 	fanIssued, fanDone, fanCancelled int64
 	fanTimeout, fanShed              int64
